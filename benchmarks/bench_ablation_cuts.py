@@ -1,0 +1,68 @@
+"""Ablation B — effect of the Sec. IV-C strengthening features.
+
+Times the cSigma-Model with each reduction toggled off against the
+full configuration, and records the model-size effect of the presolve
+state-space reduction.  The paper credits these features with making
+moderately sized instances solvable "in the first place".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tvnep import CSigmaModel, ModelOptions, verify_solution
+
+VARIANTS = {
+    "all-on": ModelOptions(),
+    "no-dependency-cuts": ModelOptions(use_dependency_cuts=False, use_pairwise_cuts=False),
+    "no-pairwise-cuts": ModelOptions(use_pairwise_cuts=False),
+    "no-state-reduction": ModelOptions(use_state_reduction=False),
+    "no-ordering-cuts": ModelOptions(use_ordering_cuts=False),
+    "plain": ModelOptions.plain(),
+}
+
+_objectives: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS), ids=list(VARIANTS))
+def test_cut_variant_runtime(benchmark, variant, base_scenario, bench_config):
+    scenario = base_scenario.with_flexibility(1.0)
+    options = VARIANTS[variant]
+
+    def build_and_solve():
+        model = CSigmaModel(
+            scenario.substrate,
+            scenario.requests,
+            fixed_mappings=scenario.node_mappings,
+            options=options,
+        )
+        return model, model.solve(time_limit=bench_config.time_limit)
+
+    model, solution = benchmark.pedantic(build_and_solve, rounds=1, iterations=1)
+    assert verify_solution(solution).feasible
+    _objectives[variant] = solution.objective
+    benchmark.extra_info["objective"] = solution.objective
+    benchmark.extra_info["state_vars"] = model.num_state_variables()
+    benchmark.extra_info["model_vars"] = model.stats()["variables"]
+    # every variant must reach the same optimum (cut validity)
+    if solution.gap <= 1e-6 and "all-on" in _objectives:
+        assert solution.objective == pytest.approx(
+            _objectives["all-on"], abs=1e-5
+        )
+
+
+def test_state_reduction_shrinks_model(base_scenario):
+    scenario = base_scenario.with_flexibility(0.5)
+    full = CSigmaModel(
+        scenario.substrate,
+        scenario.requests,
+        fixed_mappings=scenario.node_mappings,
+        options=ModelOptions(use_state_reduction=False),
+    )
+    reduced = CSigmaModel(
+        scenario.substrate,
+        scenario.requests,
+        fixed_mappings=scenario.node_mappings,
+        options=ModelOptions(),
+    )
+    assert reduced.num_state_variables() < full.num_state_variables()

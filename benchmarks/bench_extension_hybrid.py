@@ -1,0 +1,61 @@
+"""Extension — the heavy-hitters hybrid versus its two parents.
+
+The paper's conclusion proposes combining the exact cSigma-Model (for
+resource-intensive "heavy-hitters") with the greedy (for the long tail
+of small VNets).  This benchmark times the three strategies on the
+same workload and records revenue so the quality/runtime trade-off is
+visible in one table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.runner import run_exact, run_greedy
+from repro.tvnep import hybrid_heavy_hitters, verify_solution
+from repro.workloads import small_scenario
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return small_scenario(0, num_requests=8).with_flexibility(1.0)
+
+
+def test_exact_strategy(benchmark, workload, bench_config):
+    def run():
+        record, _ = run_exact(
+            workload, algorithm="csigma", time_limit=bench_config.time_limit
+        )
+        return record
+
+    record = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["revenue"] = round(record.objective, 2)
+    benchmark.extra_info["accepted"] = record.num_embedded
+
+
+def test_greedy_strategy(benchmark, workload):
+    def run():
+        record, _ = run_greedy(workload)
+        return record
+
+    record = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["revenue"] = round(record.objective, 2)
+    benchmark.extra_info["accepted"] = record.num_embedded
+
+
+@pytest.mark.parametrize("fraction", [0.25, 0.5], ids=["heavy25", "heavy50"])
+def test_hybrid_strategy(benchmark, workload, fraction, bench_config):
+    def run():
+        return hybrid_heavy_hitters(
+            workload.substrate,
+            workload.requests,
+            workload.node_mappings,
+            heavy_fraction=fraction,
+            exact_time_limit=bench_config.time_limit,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert verify_solution(result.solution).feasible
+    benchmark.extra_info["revenue"] = round(result.solution.objective, 2)
+    benchmark.extra_info["accepted"] = result.solution.num_embedded
+    benchmark.extra_info["heavy"] = ",".join(result.heavy_names)

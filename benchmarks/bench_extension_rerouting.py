@@ -1,0 +1,68 @@
+"""Extension — the value of temporal link re-routing.
+
+The paper fixes embeddings to be time-invariant and defers
+reconfiguration to future work (Sec. II-B).  This benchmark measures
+what that restriction costs: on the moving-contention instance the
+static cSigma-Model must reject a request that the re-routing variant
+serves, and on random scenarios the re-routing objective dominates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import Request, SubstrateNetwork, TemporalSpec
+from repro.network.topologies import chain
+from repro.tvnep import CSigmaModel
+from repro.tvnep.rerouting import ReroutingCSigmaModel
+
+
+def moving_contention_instance():
+    sub = SubstrateNetwork("diamond")
+    for n in ("a", "l", "r", "b"):
+        sub.add_node(n, 10.0)
+    sub.add_link("a", "l", 1.0)
+    sub.add_link("l", "b", 1.0)
+    sub.add_link("a", "r", 1.0)
+    sub.add_link("r", "b", 1.0)
+
+    def job(name, t_s, t_e, d):
+        vnet = chain(name, length=2, node_demand=0.1, link_demand=1.0)
+        return Request(vnet, TemporalSpec(t_s, t_e, d))
+
+    requests = [job("A", 0, 4, 4), job("B", 0, 2, 2), job("C", 2, 4, 2)]
+    mappings = {
+        "A": {"n0": "a", "n1": "b"},
+        "B": {"n0": "a", "n1": "l"},
+        "C": {"n0": "a", "n1": "r"},
+    }
+    return sub, requests, mappings
+
+
+def test_static_model(benchmark):
+    sub, requests, mappings = moving_contention_instance()
+
+    def solve():
+        return CSigmaModel(sub, requests, fixed_mappings=mappings).solve(
+            time_limit=60
+        )
+
+    solution = benchmark.pedantic(solve, rounds=1, iterations=1)
+    benchmark.extra_info["embedded"] = solution.num_embedded
+    benchmark.extra_info["objective"] = solution.objective
+    assert solution.num_embedded == 2  # static routing must reject one
+
+
+def test_rerouting_model(benchmark):
+    sub, requests, mappings = moving_contention_instance()
+
+    def solve():
+        model = ReroutingCSigmaModel(sub, requests, fixed_mappings=mappings)
+        return model.solve_rerouting(time_limit=60)
+
+    schedule = benchmark.pedantic(solve, rounds=1, iterations=1)
+    assert schedule.verify().feasible
+    benchmark.extra_info["embedded"] = schedule.num_embedded
+    benchmark.extra_info["objective"] = schedule.objective
+    benchmark.extra_info["routing_changes_A"] = schedule.routing_changes("A")
+    assert schedule.num_embedded == 3  # re-routing serves everyone

@@ -1,0 +1,38 @@
+"""Figure 8 — number of requests embedded by cSigma per flexibility.
+
+The paper uses this figure as the key for reading Figures 5/6: more
+flexibility lets the provider accept more of the twenty requests.  The
+benchmark records the accepted count at each flexibility level and
+asserts monotone improvement (more slack can never force rejections on
+the same workload).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import run_exact
+
+_accepted_by_flex: dict[float, int] = {}
+
+
+@pytest.mark.parametrize("flexibility", [0.0, 1.0, 2.0], ids=lambda f: f"flex{f:g}")
+def test_accepted_requests(benchmark, flexibility, base_scenario, bench_config):
+    scenario = base_scenario.with_flexibility(flexibility)
+
+    def solve():
+        record, _ = run_exact(
+            scenario, algorithm="csigma", time_limit=bench_config.time_limit
+        )
+        return record
+
+    record = benchmark.pedantic(solve, rounds=1, iterations=1)
+    assert record.solved
+    _accepted_by_flex[flexibility] = record.num_embedded
+    benchmark.extra_info["embedded"] = record.num_embedded
+    benchmark.extra_info["total"] = record.num_requests
+    # monotonicity versus every previously measured smaller flexibility
+    if record.proved_optimal:
+        for other_flex, other_count in _accepted_by_flex.items():
+            if other_flex < flexibility:
+                assert record.num_embedded >= other_count - 0

@@ -1,0 +1,44 @@
+"""Figure 9 — access-control objective improvement over flexibility 0.
+
+The paper's headline systems takeaway: "already little time
+flexibilities can improve the overall system performance
+significantly", with the optimal objective growing near-linearly in
+the flexibility.  The benchmark records the relative improvement per
+level and asserts it is non-negative (extra slack never hurts an
+optimal solver).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import relative_improvement, run_exact
+
+
+@pytest.fixture(scope="module")
+def baseline(base_scenario, bench_config):
+    record, _ = run_exact(
+        base_scenario.with_flexibility(0.0),
+        algorithm="csigma",
+        time_limit=bench_config.time_limit,
+    )
+    return record
+
+
+@pytest.mark.parametrize("flexibility", [0.5, 1.0, 2.0], ids=lambda f: f"flex{f:g}")
+def test_flexibility_improvement(benchmark, flexibility, base_scenario, baseline, bench_config):
+    scenario = base_scenario.with_flexibility(flexibility)
+
+    def solve():
+        record, _ = run_exact(
+            scenario, algorithm="csigma", time_limit=bench_config.time_limit
+        )
+        return record
+
+    record = benchmark.pedantic(solve, rounds=1, iterations=1)
+    improvement = relative_improvement(record.objective, baseline.objective)
+    if record.proved_optimal and baseline.proved_optimal:
+        assert improvement >= -1e-6
+    benchmark.extra_info["improvement"] = round(improvement, 4)
+    benchmark.extra_info["objective"] = record.objective
+    benchmark.extra_info["baseline"] = baseline.objective

@@ -1,0 +1,38 @@
+"""Scaling — how far "moderately sized" reaches (paper question 2).
+
+Measures cSigma build+solve cost as the request count grows (each size
+gets its own naturally-contended workload), answering the paper's
+second evaluation question quantitatively at laptop scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.scaling import scaling_study
+
+SIZES = (2, 4, 6, 8)
+
+
+@pytest.mark.parametrize("size", SIZES, ids=lambda s: f"R{s}")
+def test_csigma_scaling(benchmark, size):
+    def run():
+        return scaling_study(
+            request_counts=(size,), seeds=(0,), algorithm="csigma", time_limit=60
+        )[0]
+
+    point = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert point.verified_feasible
+    benchmark.extra_info["build_time"] = round(point.build_time, 4)
+    benchmark.extra_info["solve_time"] = round(point.solve_time, 4)
+    benchmark.extra_info["model_vars"] = point.model_vars
+    benchmark.extra_info["accepted"] = f"{point.num_embedded}/{point.num_requests}"
+
+
+def test_scaling_table_renders():
+    from repro.evaluation.scaling import render_scaling_table
+
+    points = scaling_study(request_counts=(2, 3), seeds=(0,), time_limit=30)
+    table = render_scaling_table(points)
+    assert "csigma" in table
+    assert "|R|" in table

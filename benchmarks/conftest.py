@@ -1,0 +1,69 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark runs at laptop scale by default (seconds, not the
+paper's hours).  The scale knobs live in :class:`BenchConfig`; set the
+environment variable ``REPRO_BENCH_SCALE=paper`` to run the original
+Sec. VI-A configuration (24 scenarios x 11 flexibilities x 1 h limits —
+plan for a long night).
+
+Figure-level regeneration (the full sweep feeding EXPERIMENTS.md) lives
+in ``benchmarks/run_figures.py``; the pytest-benchmark entries here
+time the individual solver components that make up each figure and
+attach the paper-relevant quality metrics as ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.workloads import paper_scenario, small_scenario
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    scale: str
+    seeds: tuple[int, ...]
+    flexibilities: tuple[float, ...]
+    time_limit: float
+    num_requests: int
+
+    @classmethod
+    def from_env(cls) -> "BenchConfig":
+        if os.environ.get("REPRO_BENCH_SCALE") == "paper":
+            return cls(
+                scale="paper",
+                seeds=tuple(range(24)),
+                flexibilities=tuple(i * 0.5 for i in range(11)),
+                time_limit=3600.0,
+                num_requests=20,
+            )
+        return cls(
+            scale="small",
+            seeds=(0,),
+            flexibilities=(0.0, 1.0, 2.0),
+            time_limit=30.0,
+            num_requests=5,
+        )
+
+    def scenario(self, seed: int):
+        if self.scale == "paper":
+            return paper_scenario(seed)
+        return small_scenario(seed, num_requests=self.num_requests)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchConfig:
+    return BenchConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def base_scenario(bench_config):
+    return bench_config.scenario(bench_config.seeds[0])
+
+
+@pytest.fixture(scope="session", params=[0.0, 1.0, 2.0], ids=lambda f: f"flex{f:g}")
+def scenario_at_flexibility(request, base_scenario):
+    return base_scenario.with_flexibility(request.param)

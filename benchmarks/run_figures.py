@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Figures 3-9 as text tables.
+
+Usage::
+
+    python benchmarks/run_figures.py                 # laptop scale (~minutes)
+    python benchmarks/run_figures.py --quick         # smoke (~seconds)
+    python benchmarks/run_figures.py --paper         # Sec. VI-A scale (hours!)
+    python benchmarks/run_figures.py --seeds 0 1 2 --time-limit 60
+
+Output goes to stdout and (with ``--output``) to a file; EXPERIMENTS.md
+embeds a run of this script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.evaluation import Evaluation, EvaluationConfig
+
+
+def parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smoke-test scale")
+    parser.add_argument(
+        "--paper", action="store_true", help="original Sec. VI-A scale (hours)"
+    )
+    parser.add_argument("--seeds", type=int, nargs="+", default=None)
+    parser.add_argument("--flexibilities", type=float, nargs="+", default=None)
+    parser.add_argument("--time-limit", type=float, default=None)
+    parser.add_argument("--num-requests", type=int, default=None)
+    parser.add_argument("--output", type=str, default=None)
+    parser.add_argument("--store", type=str, default=None,
+                        help="JSON-lines record store (enables resume)")
+    parser.add_argument("--charts", action="store_true",
+                        help="append bar-chart renderings")
+    parser.add_argument("--verbose", action="store_true")
+    return parser.parse_args(argv)
+
+
+def build_config(args: argparse.Namespace) -> EvaluationConfig:
+    if args.paper:
+        config = EvaluationConfig.paper()
+    elif args.quick:
+        config = EvaluationConfig.quick()
+    else:
+        config = EvaluationConfig()
+    from dataclasses import replace
+
+    overrides = {}
+    if args.seeds is not None:
+        overrides["seeds"] = tuple(args.seeds)
+    if args.flexibilities is not None:
+        overrides["flexibilities"] = tuple(args.flexibilities)
+    if args.time_limit is not None:
+        overrides["time_limit"] = args.time_limit
+    if args.num_requests is not None:
+        overrides["num_requests"] = args.num_requests
+    return replace(config, **overrides) if overrides else config
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+    config = build_config(args)
+    print(
+        f"# TVNEP evaluation — scale={config.scale}, seeds={config.seeds}, "
+        f"flexibilities={config.flexibilities}, time_limit={config.time_limit}s",
+        flush=True,
+    )
+    started = time.perf_counter()
+    evaluation = Evaluation(config, store_path=args.store)
+    evaluation.run_all(verbose=args.verbose)
+    report = evaluation.render_all(charts=args.charts)
+    elapsed = time.perf_counter() - started
+    footer = f"\n(total evaluation time: {elapsed:.1f}s)"
+    print(report + footer)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + footer + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

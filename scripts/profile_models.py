@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Profile model construction and solving (cProfile).
+
+The optimization guides' first rule is "no optimization without
+measuring"; this script is the measuring.  It profiles the build and
+solve phases of a chosen formulation on a chosen workload scale and
+prints the hottest functions, so regressions in the modeling layer
+(expression churn, matrix assembly) show up as data instead of vibes.
+
+Usage::
+
+    python scripts/profile_models.py                       # csigma, small
+    python scripts/profile_models.py --model delta --scale paper
+    python scripts/profile_models.py --sort tottime --top 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from io import StringIO
+
+from repro.evaluation.runner import MODEL_REGISTRY
+from repro.workloads import paper_scenario, small_scenario
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", choices=sorted(MODEL_REGISTRY), default="csigma")
+    parser.add_argument("--scale", choices=["small", "paper"], default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--flexibility", type=float, default=1.0)
+    parser.add_argument("--num-requests", type=int, default=8)
+    parser.add_argument("--time-limit", type=float, default=60.0)
+    parser.add_argument("--sort", default="cumulative")
+    parser.add_argument("--top", type=int, default=20)
+    args = parser.parse_args(argv)
+
+    if args.scale == "paper":
+        scenario = paper_scenario(args.seed)
+    else:
+        scenario = small_scenario(args.seed, num_requests=args.num_requests)
+    scenario = scenario.with_flexibility(args.flexibility)
+    model_cls = MODEL_REGISTRY[args.model]
+
+    # -- build phase -----------------------------------------------------
+    build_profile = cProfile.Profile()
+    build_profile.enable()
+    model = model_cls(
+        scenario.substrate,
+        scenario.requests,
+        fixed_mappings=scenario.node_mappings,
+    )
+    build_profile.disable()
+
+    # -- solve phase -----------------------------------------------------
+    solve_profile = cProfile.Profile()
+    solve_profile.enable()
+    solution = model.solve(time_limit=args.time_limit)
+    solve_profile.disable()
+
+    print(f"instance: {scenario.label}, model: {args.model}")
+    print(f"model stats: {model.stats()}")
+    print(f"solution: {solution.summary()}\n")
+    for label, profile in (("BUILD", build_profile), ("SOLVE", solve_profile)):
+        out = StringIO()
+        stats = pstats.Stats(profile, stream=out)
+        stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+        print(f"==== {label} phase (top {args.top} by {args.sort}) ====")
+        print(out.getvalue())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

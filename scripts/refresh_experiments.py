@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Refresh the measured tables in EXPERIMENTS.md from recorded runs.
+
+Reads the three run artifacts (laptop figures, stress figures, paper-
+scale sweep) and splices their tables into EXPERIMENTS.md, replacing
+the corresponding fenced code blocks.  Keeps the document's prose
+untouched, so re-running the evaluation and refreshing the numbers is
+a two-command affair:
+
+    python benchmarks/run_figures.py --output figures_output.txt
+    python scripts/refresh_experiments.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+EXPERIMENTS = "EXPERIMENTS.md"
+
+
+def extract_figure(text: str, title_prefix: str) -> str | None:
+    """Grab one figure's table body (header..rows) from a run artifact."""
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        if line.startswith(title_prefix):
+            body = [line.rstrip()]
+            for row in lines[i + 1 :]:
+                if not row.strip() or row.startswith("(total"):
+                    break
+                body.append(row.rstrip())
+            return "\n".join(body)
+    return None
+
+
+def replace_block(doc: str, anchor: str, new_body: str) -> str:
+    """Replace the first fenced block after ``anchor`` with ``new_body``."""
+    idx = doc.find(anchor)
+    if idx < 0:
+        print(f"  anchor not found: {anchor!r}", file=sys.stderr)
+        return doc
+    open_idx = doc.find("```", idx)
+    close_idx = doc.find("```", open_idx + 3)
+    if open_idx < 0 or close_idx < 0:
+        print(f"  fenced block not found after {anchor!r}", file=sys.stderr)
+        return doc
+    return doc[: open_idx + 3] + "\n" + new_body + "\n" + doc[close_idx:]
+
+
+def main() -> int:
+    doc = open(EXPERIMENTS, encoding="utf-8").read()
+
+    try:
+        laptop = open("figures_output.txt", encoding="utf-8").read()
+    except OSError:
+        laptop = None
+    try:
+        stress = open("figures_stress.txt", encoding="utf-8").read()
+    except OSError:
+        stress = None
+    try:
+        sweep = open("paper_scale_sweep.txt", encoding="utf-8").read()
+    except OSError:
+        sweep = None
+
+    if laptop:
+        for anchor, title in [
+            ("## Figure 3", "flex  delta"),
+            ("## Figure 5", "flex  max_earliness"),
+        ]:
+            body = extract_figure(laptop, title)
+            if body:
+                doc = replace_block(doc, anchor, body)
+                print(f"refreshed block after {anchor}")
+        body = extract_figure(laptop, "flex  greedy vs csigma")
+        if body:
+            doc = replace_block(doc, "## Figure 7", body)
+            print("refreshed block after ## Figure 7")
+        body = extract_figure(laptop, "flex  csigma vs flex 0")
+        if body:
+            doc = replace_block(doc, "## Figure 9", body)
+            print("refreshed block after ## Figure 9")
+
+    if stress:
+        # figure 4 table appears twice in the stress artifact's layout;
+        # match by its distinctive header
+        body = extract_figure(stress, "flex  delta (median [q1, q3])")
+        # the SECOND occurrence (after 'Figure 4') is the gap table
+        marker = stress.find("Figure 4")
+        if marker >= 0:
+            body = extract_figure(stress[marker:], "flex  delta")
+        if body:
+            doc = replace_block(doc, "## Figure 4", body)
+            print("refreshed block after ## Figure 4")
+
+    if sweep:
+        body = extract_figure(sweep, "flex    cS revenue")
+        if body is None:
+            body = extract_figure(sweep, "flex")
+        if body:
+            doc = replace_block(doc, "### Paper-scale sweep", body)
+            print("refreshed paper-scale sweep block")
+
+    open(EXPERIMENTS, "w", encoding="utf-8").write(doc)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

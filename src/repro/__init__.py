@@ -1,0 +1,51 @@
+"""tvnep — Temporal Virtual Network Embedding, reproduced.
+
+A production-quality reproduction of *"It's About Time: On Optimal
+Virtual Network Embeddings under Temporal Flexibilities"* (M. Rost,
+S. Schmid, A. Feldmann; IPDPS 2014).
+
+The package answers the joint question *where* and *when* to embed
+virtual networks (VNets) on a capacitated substrate so that no node or
+link capacity is ever exceeded, using three continuous-time MIP
+formulations (Delta, Sigma, cSigma), temporal dependency-graph cuts, and
+the greedy admission heuristic cSigma^G_A.
+
+Layout
+------
+``repro.mip``
+    Self-contained MIP modeling layer + HiGHS and branch-and-bound
+    backends.
+``repro.network``
+    Substrate networks, VNet requests, topology generators.
+``repro.temporal``
+    Interval algebra, event timelines, temporal dependency graphs.
+``repro.vnep``
+    Static VNEP building blocks (node mapping, splittable flows).
+``repro.tvnep``
+    The paper's models, cuts, objectives, greedy algorithm, solution
+    extraction and an independent feasibility verifier.
+``repro.workloads``
+    The paper's synthetic data-center workload generator.
+``repro.evaluation``
+    Experiment harness regenerating Figures 3-9.
+"""
+
+from repro._version import __version__
+from repro.exceptions import (
+    InfeasibleError,
+    ModelingError,
+    ReproError,
+    SolverError,
+    UnboundedError,
+    ValidationError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ModelingError",
+    "SolverError",
+    "InfeasibleError",
+    "UnboundedError",
+    "ValidationError",
+]

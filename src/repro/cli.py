@@ -1,0 +1,276 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``
+    Produce a synthetic workload instance file (paper or laptop scale).
+``solve``
+    Solve an instance with a chosen formulation and objective; write
+    the solution (and optionally the LP file) to disk.
+``verify``
+    Re-check a solution file against its instance (Definition 2.1).
+``check``
+    Lint an instance file for legal-but-hopeless configurations.
+``evaluate``
+    Run the Figures 3-9 harness (same engine as
+    ``benchmarks/run_figures.py``).
+
+Example
+-------
+::
+
+    python -m repro generate --seed 0 --flexibility 1.0 -o day.json
+    python -m repro solve day.json --model csigma -o day-solution.json
+    python -m repro verify day.json day-solution.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from repro.io import Instance, load_instance, load_solution, save_instance, save_solution
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Temporal VNet Embedding (TVNEP) toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic instance")
+    gen.add_argument("--scale", choices=["small", "paper"], default="small")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--num-requests", type=int, default=None)
+    gen.add_argument("--flexibility", type=float, default=0.0)
+    gen.add_argument("-o", "--output", required=True)
+
+    solve = sub.add_parser("solve", help="solve an instance file")
+    solve.add_argument("instance")
+    solve.add_argument(
+        "--model",
+        choices=["csigma", "sigma", "delta", "discrete", "greedy", "greedy-enum"],
+        default="csigma",
+    )
+    solve.add_argument(
+        "--objective",
+        choices=[
+            "access_control",
+            "max_earliness",
+            "balance_node_load",
+            "disable_links",
+            "min_makespan",
+        ],
+        default="access_control",
+    )
+    solve.add_argument("--time-limit", type=float, default=None)
+    solve.add_argument("--backend", choices=["highs", "bnb"], default="highs")
+    solve.add_argument("--slot-length", type=float, default=0.5,
+                       help="grid resolution for --model discrete")
+    solve.add_argument("-o", "--output", default=None)
+    solve.add_argument("--lp-out", default=None, help="also dump the LP file")
+    solve.add_argument("--gantt", action="store_true",
+                       help="print a schedule Gantt chart and utilization table")
+
+    verify = sub.add_parser("verify", help="verify a solution file")
+    verify.add_argument("instance")
+    verify.add_argument("solution")
+
+    check = sub.add_parser("check", help="lint an instance file")
+    check.add_argument("instance")
+
+    evaluate = sub.add_parser("evaluate", help="run the Figures 3-9 harness")
+    evaluate.add_argument("--quick", action="store_true")
+    evaluate.add_argument("--paper", action="store_true")
+    evaluate.add_argument("--seeds", type=int, nargs="+", default=None)
+    evaluate.add_argument("--time-limit", type=float, default=None)
+    evaluate.add_argument("--charts", action="store_true")
+    evaluate.add_argument("--store", default=None,
+                          help="JSON-lines record store (enables resume)")
+    evaluate.add_argument("--output", default=None)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workloads import paper_scenario, small_scenario
+
+    if args.scale == "paper":
+        scenario = paper_scenario(args.seed)
+    else:
+        kwargs = {}
+        if args.num_requests is not None:
+            kwargs["num_requests"] = args.num_requests
+        scenario = small_scenario(args.seed, **kwargs)
+    if args.flexibility:
+        scenario = scenario.with_flexibility(args.flexibility)
+    instance = Instance(
+        substrate=scenario.substrate,
+        requests=scenario.requests,
+        node_mappings={
+            name: {str(v): str(s) for v, s in mapping.items()}
+            for name, mapping in scenario.node_mappings.items()
+        },
+    )
+    save_instance(instance, args.output)
+    print(
+        f"wrote {args.output}: {len(instance.requests)} requests on "
+        f"{instance.substrate.num_nodes} nodes / "
+        f"{instance.substrate.num_links} links"
+    )
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.tvnep import (
+        CSigmaModel,
+        DeltaModel,
+        DiscreteTimeModel,
+        SigmaModel,
+        greedy_csigma,
+        greedy_enumerative,
+        verify_solution,
+    )
+    from repro.tvnep.objectives import OBJECTIVES
+
+    instance = load_instance(args.instance)
+    mappings = instance.node_mappings or None
+
+    if args.model in ("greedy", "greedy-enum"):
+        if args.objective != "access_control":
+            print("greedy only supports the access_control objective", file=sys.stderr)
+            return 2
+        if not mappings:
+            print("greedy requires node mappings in the instance", file=sys.stderr)
+            return 2
+        runner = greedy_csigma if args.model == "greedy" else greedy_enumerative
+        solution = runner(instance.substrate, instance.requests, mappings).solution
+    elif args.model == "discrete":
+        model = DiscreteTimeModel(
+            instance.substrate,
+            instance.requests,
+            slot_length=args.slot_length,
+            fixed_mappings=mappings,
+        )
+        solution = model.solve(backend=args.backend, time_limit=args.time_limit)
+    else:
+        cls = {"csigma": CSigmaModel, "sigma": SigmaModel, "delta": DeltaModel}[
+            args.model
+        ]
+        force_embedded: list[str] = []
+        if args.objective != "access_control":
+            force_embedded = [r.name for r in instance.requests]
+        model = cls(
+            instance.substrate,
+            instance.requests,
+            fixed_mappings=mappings,
+            force_embedded=force_embedded,
+        )
+        OBJECTIVES[args.objective](model)
+        if args.lp_out:
+            from repro.mip import write_lp_file
+
+            write_lp_file(model.model, args.lp_out)
+            print(f"wrote LP file {args.lp_out}")
+        solution = model.solve(backend=args.backend, time_limit=args.time_limit)
+
+    print(solution.summary())
+    if math.isnan(solution.objective):
+        print("no solution found", file=sys.stderr)
+        return 1
+    report = verify_solution(solution, check_windows=args.objective == "access_control")
+    print("verifier:", "feasible" if report.feasible else report.violations[:3])
+    for name, entry in solution.scheduled.items():
+        status = (
+            f"[{entry.start:.3f}, {entry.end:.3f}]"
+            if entry.embedded
+            else "rejected"
+        )
+        print(f"  {name}: {status}")
+    if args.gantt:
+        from repro.evaluation.gantt import render_gantt, utilization_report
+
+        print()
+        print(render_gantt(solution))
+        print()
+        print(utilization_report(solution, top=10))
+    if args.output:
+        save_solution(solution, args.output)
+        print(f"wrote {args.output}")
+    return 0 if report.feasible else 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.tvnep import verify_solution
+
+    instance = load_instance(args.instance)
+    solution = load_solution(args.solution, instance)
+    report = verify_solution(solution)
+    if report.feasible:
+        print(
+            f"feasible: {solution.num_embedded}/{len(solution.scheduled)} "
+            f"embedded, objective={solution.objective:.6g}"
+        )
+        return 0
+    print("INFEASIBLE:")
+    for violation in report.violations:
+        print(f"  - {violation}")
+    return 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.network.validation import lint_instance
+
+    instance = load_instance(args.instance)
+    report = lint_instance(
+        instance.substrate, instance.requests, instance.node_mappings
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.evaluation import Evaluation, EvaluationConfig
+
+    if args.paper:
+        config = EvaluationConfig.paper()
+    elif args.quick:
+        config = EvaluationConfig.quick()
+    else:
+        config = EvaluationConfig()
+    if args.seeds is not None:
+        config = replace(config, seeds=tuple(args.seeds))
+    if args.time_limit is not None:
+        config = replace(config, time_limit=args.time_limit)
+    evaluation = Evaluation(config, store_path=args.store)
+    report = evaluation.render_all(charts=args.charts)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "solve": _cmd_solve,
+    "verify": _cmd_verify,
+    "check": _cmd_check,
+    "evaluate": _cmd_evaluate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Evaluation harness regenerating the paper's Figures 3-9."""
+
+from repro.evaluation.aggregate import (
+    DistributionSummary,
+    group_records,
+    series_over_flexibility,
+    summarize,
+)
+from repro.evaluation.experiments import (
+    FIXED_OBJECTIVES,
+    Evaluation,
+    EvaluationConfig,
+)
+from repro.evaluation.charts import bar_chart, series_chart
+from repro.evaluation.gantt import render_gantt, utilization_report
+from repro.evaluation.persistence import RecordStore, load_records, save_records
+from repro.evaluation.scaling import ScalingPoint, render_scaling_table, scaling_study
+from repro.evaluation.metrics import (
+    objective_gap,
+    percent,
+    relative_improvement,
+    relative_performance,
+)
+from repro.evaluation.report import render_flexibility_figure, render_table
+from repro.evaluation.runner import MODEL_REGISTRY, RunRecord, run_exact, run_greedy
+
+__all__ = [
+    "Evaluation",
+    "EvaluationConfig",
+    "FIXED_OBJECTIVES",
+    "RunRecord",
+    "MODEL_REGISTRY",
+    "run_exact",
+    "run_greedy",
+    "DistributionSummary",
+    "group_records",
+    "summarize",
+    "series_over_flexibility",
+    "objective_gap",
+    "relative_performance",
+    "relative_improvement",
+    "percent",
+    "render_table",
+    "render_flexibility_figure",
+    "bar_chart",
+    "series_chart",
+    "render_gantt",
+    "utilization_report",
+    "RecordStore",
+    "save_records",
+    "load_records",
+    "scaling_study",
+    "render_scaling_table",
+    "ScalingPoint",
+]

@@ -1,0 +1,106 @@
+"""Aggregation of run records into the paper's box-plot statistics.
+
+The paper's figures plot, per flexibility level and per algorithm, the
+distribution over 24 scenarios (medians with quartile boxes).  This
+module groups :class:`~repro.evaluation.runner.RunRecord` lists the
+same way and computes the summary statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.runner import RunRecord
+
+__all__ = ["DistributionSummary", "group_records", "summarize", "series_over_flexibility"]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-ish summary of one figure cell.
+
+    Infinite values (e.g. gaps of runs without incumbents) are counted
+    separately (``num_infinite``) and excluded from the quantiles, so a
+    cell can report "median gap 12 %, 3 of 24 runs found nothing" — the
+    way the paper annotates its gap plots.
+    """
+
+    count: int
+    num_infinite: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "DistributionSummary":
+        raw = [v for v in values if not math.isnan(v)]
+        infinite = sum(1 for v in raw if math.isinf(v))
+        finite = np.array([v for v in raw if math.isfinite(v)], dtype=float)
+        if finite.size == 0:
+            nan = math.nan
+            return cls(len(raw), infinite, nan, nan, nan, nan, nan, nan)
+        return cls(
+            count=len(raw),
+            num_infinite=infinite,
+            minimum=float(finite.min()),
+            q1=float(np.percentile(finite, 25)),
+            median=float(np.percentile(finite, 50)),
+            q3=float(np.percentile(finite, 75)),
+            maximum=float(finite.max()),
+            mean=float(finite.mean()),
+        )
+
+    def render(self, fmt: str = "{:.3g}") -> str:
+        """Compact ``median [q1, q3]`` text, annotating infinite runs."""
+        if math.isnan(self.median):
+            body = "-"
+        else:
+            body = (
+                f"{fmt.format(self.median)} "
+                f"[{fmt.format(self.q1)}, {fmt.format(self.q3)}]"
+            )
+        if self.num_infinite:
+            body += f" ({self.num_infinite}/{self.count} inf)"
+        return body
+
+
+def group_records(
+    records: Sequence[RunRecord],
+    key: Callable[[RunRecord], tuple],
+) -> dict[tuple, list[RunRecord]]:
+    """Group records by an arbitrary key function (insertion-ordered)."""
+    groups: dict[tuple, list[RunRecord]] = {}
+    for record in records:
+        groups.setdefault(key(record), []).append(record)
+    return groups
+
+
+def summarize(
+    records: Sequence[RunRecord],
+    value: Callable[[RunRecord], float],
+) -> DistributionSummary:
+    """Distribution summary of ``value`` over the records."""
+    return DistributionSummary.of(value(r) for r in records)
+
+
+def series_over_flexibility(
+    records: Sequence[RunRecord],
+    value: Callable[[RunRecord], float],
+    algorithm: str | None = None,
+) -> dict[float, DistributionSummary]:
+    """``flexibility -> summary`` series (one paper-figure line)."""
+    filtered = [
+        r for r in records if algorithm is None or r.algorithm == algorithm
+    ]
+    groups = group_records(filtered, key=lambda r: (r.flexibility,))
+    return {
+        flex: summarize(group, value)
+        for (flex,), group in sorted(groups.items())
+    }

@@ -1,0 +1,469 @@
+"""The paper's computational evaluation, figure by figure (Sec. VI).
+
+:class:`Evaluation` runs the full sweep once and derives every figure
+from the cached records:
+
+========  ==========================================================
+Figure 3  runtime of Delta/Sigma/cSigma vs. flexibility (access ctrl)
+Figure 4  objective gap of the three formulations after the timeout
+Figure 5  runtime of cSigma under the three fixed-set objectives
+Figure 6  gap of cSigma under the three fixed-set objectives
+Figure 7  relative performance of greedy cSigma^G_A vs. cSigma
+Figure 8  number of requests embedded by cSigma
+Figure 9  relative improvement of the objective over flexibility 0
+========  ==========================================================
+
+Scale is configurable: :meth:`EvaluationConfig.quick` (seconds, used in
+tests), the default laptop scale, and :meth:`EvaluationConfig.paper`
+(the original 24 scenarios x 11 flexibilities x 1 h timeouts).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.evaluation.aggregate import series_over_flexibility
+from repro.evaluation.metrics import relative_improvement, relative_performance
+from repro.evaluation.report import render_flexibility_figure
+from repro.evaluation.runner import RunRecord, run_exact, run_greedy
+from repro.exceptions import ValidationError
+from repro.workloads.scenario import Scenario, paper_scenario, small_scenario
+
+__all__ = ["EvaluationConfig", "Evaluation", "FIXED_OBJECTIVES"]
+
+#: the fixed-set objectives evaluated in Figures 5/6
+FIXED_OBJECTIVES: tuple[str, ...] = (
+    "max_earliness",
+    "balance_node_load",
+    "disable_links",
+)
+
+
+@dataclass(frozen=True)
+class EvaluationConfig:
+    """Sweep configuration.
+
+    Attributes mirror the paper's knobs; the defaults run on a laptop
+    in minutes.  ``scale`` chooses between the paper-size workload
+    generator and the shrunk one (see
+    :func:`repro.workloads.scenario.small_scenario`).
+    """
+
+    seeds: tuple[int, ...] = (0, 1, 2)
+    flexibilities: tuple[float, ...] = (0.0, 0.5, 1.0, 1.5, 2.0)
+    scale: str = "small"
+    models: tuple[str, ...] = ("delta", "sigma", "csigma")
+    time_limit: float = 30.0
+    backend: str = "highs"
+    load_fraction: float = 0.5
+    num_requests: int = 6
+
+    def make_scenario(self, seed: int) -> Scenario:
+        if self.scale == "paper":
+            return paper_scenario(seed)
+        if self.scale == "small":
+            return small_scenario(seed, num_requests=self.num_requests)
+        raise ValidationError(f"unknown scale {self.scale!r}")
+
+    @classmethod
+    def quick(cls) -> "EvaluationConfig":
+        """A seconds-scale configuration for tests and smoke runs."""
+        return cls(
+            seeds=(0, 1),
+            flexibilities=(0.0, 1.0),
+            time_limit=15.0,
+            num_requests=4,
+        )
+
+    @classmethod
+    def paper(cls) -> "EvaluationConfig":
+        """The original Sec. VI-A configuration (hours of compute)."""
+        return cls(
+            seeds=tuple(range(24)),
+            flexibilities=tuple(i * 0.5 for i in range(11)),
+            scale="paper",
+            time_limit=3600.0,
+            num_requests=20,
+        )
+
+    def with_models(self, *models: str) -> "EvaluationConfig":
+        return replace(self, models=tuple(models))
+
+
+@dataclass
+class Evaluation:
+    """Runs the sweep lazily and renders the figures.
+
+    Pass ``store_path`` to persist every record as it is produced
+    (JSON-lines via :mod:`repro.evaluation.persistence`); re-creating
+    the Evaluation with the same path *resumes*: cells already on disk
+    are loaded instead of re-solved.
+    """
+
+    config: EvaluationConfig = field(default_factory=EvaluationConfig)
+    store_path: str | None = None
+    #: access-control records of the exact formulations (Figs. 3/4/8/9)
+    access_records: list[RunRecord] = field(default_factory=list)
+    #: greedy records (Fig. 7)
+    greedy_records: list[RunRecord] = field(default_factory=list)
+    #: fixed-objective records of cSigma (Figs. 5/6)
+    objective_records: list[RunRecord] = field(default_factory=list)
+    #: accepted request sets per (seed, flexibility), from cSigma runs
+    accepted_sets: dict[tuple[int, float], tuple[str, ...]] = field(
+        default_factory=dict
+    )
+    _ran_access: bool = False
+    _ran_greedy: bool = False
+    _ran_objectives: bool = False
+
+    def _store(self):
+        if self.store_path is None:
+            return None
+        if not hasattr(self, "_store_instance"):
+            from repro.evaluation.persistence import RecordStore
+
+            self._store_instance = RecordStore(self.store_path)
+        return self._store_instance
+
+    def _stored_record(self, seed, flexibility, algorithm, objective):
+        store = self._store()
+        if store is None or not store.has(seed, flexibility, algorithm, objective):
+            return None
+        for record in store.records:
+            if (
+                record.seed == seed
+                and record.flexibility == flexibility
+                and record.algorithm == algorithm
+                and record.objective_name == objective
+            ):
+                return record
+        return None
+
+    def _persist(self, record: RunRecord) -> None:
+        store = self._store()
+        if store is not None:
+            store.add(record)
+
+    # ------------------------------------------------------------------
+    # sweeps
+    # ------------------------------------------------------------------
+    def run_access_control(self, verbose: bool = False) -> list[RunRecord]:
+        """Figures 3/4/8/9 sweep: every model on every scenario cell."""
+        if self._ran_access:
+            return self.access_records
+        cfg = self.config
+        for seed in cfg.seeds:
+            base = cfg.make_scenario(seed)
+            for flexibility in cfg.flexibilities:
+                scenario = base.with_flexibility(flexibility)
+                for model_name in cfg.models:
+                    stored = self._stored_record(
+                        seed, flexibility, model_name, "access_control"
+                    )
+                    if stored is not None:
+                        self.access_records.append(stored)
+                        names = stored.model_stats.get("embedded_names")
+                        if model_name == "csigma" and names is not None:
+                            self.accepted_sets[(seed, flexibility)] = tuple(names)
+                        continue
+                    record, solution = run_exact(
+                        scenario,
+                        algorithm=model_name,
+                        objective="access_control",
+                        time_limit=cfg.time_limit,
+                        backend=cfg.backend,
+                    )
+                    if record.solved:
+                        record.model_stats["embedded_names"] = list(
+                            solution.embedded_names()
+                        )
+                    self.access_records.append(record)
+                    self._persist(record)
+                    if model_name == "csigma" and record.solved:
+                        self.accepted_sets[(seed, flexibility)] = tuple(
+                            solution.embedded_names()
+                        )
+                    if verbose:
+                        print(
+                            f"[access] seed={seed} flex={flexibility:g} "
+                            f"{model_name}: obj={record.objective:.4g} "
+                            f"gap={record.gap:.3g} t={record.runtime:.2f}s"
+                        )
+        self._ran_access = True
+        return self.access_records
+
+    def run_greedy(self, verbose: bool = False) -> list[RunRecord]:
+        """Figure 7 sweep: greedy on every scenario cell."""
+        if self._ran_greedy:
+            return self.greedy_records
+        cfg = self.config
+        for seed in cfg.seeds:
+            base = cfg.make_scenario(seed)
+            for flexibility in cfg.flexibilities:
+                stored = self._stored_record(
+                    seed, flexibility, "greedy", "access_control"
+                )
+                if stored is not None:
+                    self.greedy_records.append(stored)
+                    continue
+                scenario = base.with_flexibility(flexibility)
+                record, _ = run_greedy(
+                    scenario,
+                    time_limit_per_iteration=cfg.time_limit,
+                    backend=cfg.backend,
+                )
+                self.greedy_records.append(record)
+                self._persist(record)
+                if verbose:
+                    print(
+                        f"[greedy] seed={seed} flex={flexibility:g}: "
+                        f"obj={record.objective:.4g} t={record.runtime:.2f}s"
+                    )
+        self._ran_greedy = True
+        return self.greedy_records
+
+    def run_fixed_objectives(self, verbose: bool = False) -> list[RunRecord]:
+        """Figures 5/6 sweep: cSigma on the accepted set, per objective.
+
+        The paper evaluates the fixed-set objectives on "a given set of
+        requests"; we use the set accepted by the access-control cSigma
+        run of the same cell (see DESIGN.md interpretation notes).
+        """
+        if self._ran_objectives:
+            return self.objective_records
+        self.run_access_control()
+        cfg = self.config
+        for seed in cfg.seeds:
+            base = cfg.make_scenario(seed)
+            for flexibility in cfg.flexibilities:
+                accepted = self.accepted_sets.get((seed, flexibility), ())
+                if not accepted:
+                    continue
+                scenario = base.with_flexibility(flexibility).subset(accepted)
+                for objective in FIXED_OBJECTIVES:
+                    stored = self._stored_record(
+                        seed, flexibility, "csigma", objective
+                    )
+                    if stored is not None:
+                        self.objective_records.append(stored)
+                        continue
+                    kwargs = (
+                        {"load_fraction": cfg.load_fraction}
+                        if objective == "balance_node_load"
+                        else {}
+                    )
+                    record, _ = run_exact(
+                        scenario,
+                        algorithm="csigma",
+                        objective=objective,
+                        time_limit=cfg.time_limit,
+                        backend=cfg.backend,
+                        force_embedded=tuple(accepted),
+                        objective_kwargs=kwargs,
+                    )
+                    self.objective_records.append(record)
+                    self._persist(record)
+                    if verbose:
+                        print(
+                            f"[{objective}] seed={seed} flex={flexibility:g}: "
+                            f"obj={record.objective:.4g} t={record.runtime:.2f}s"
+                        )
+        self._ran_objectives = True
+        return self.objective_records
+
+    def run_all(self, verbose: bool = False) -> None:
+        self.run_access_control(verbose)
+        self.run_greedy(verbose)
+        self.run_fixed_objectives(verbose)
+
+    # ------------------------------------------------------------------
+    # figures
+    # ------------------------------------------------------------------
+    def figure3_runtime(self) -> str:
+        """Runtime of the MIP formulations vs. flexibility (Figure 3)."""
+        self.run_access_control()
+        series = {
+            model: series_over_flexibility(
+                self.access_records, lambda r: r.runtime, algorithm=model
+            )
+            for model in self.config.models
+        }
+        return render_flexibility_figure(
+            "Figure 3 — runtime [s] of MIP formulations (access control)",
+            series,
+        )
+
+    def figure4_gap(self) -> str:
+        """Objective gap after the timeout (Figure 4)."""
+        self.run_access_control()
+        series = {
+            model: series_over_flexibility(
+                self.access_records, lambda r: r.gap, algorithm=model
+            )
+            for model in self.config.models
+        }
+        return render_flexibility_figure(
+            "Figure 4 — objective gap of formulations (inf = no incumbent)",
+            series,
+        )
+
+    def figure5_objective_runtime(self) -> str:
+        """cSigma runtime under the fixed-set objectives (Figure 5)."""
+        self.run_fixed_objectives()
+        series = {
+            objective: series_over_flexibility(
+                [r for r in self.objective_records if r.objective_name == objective],
+                lambda r: r.runtime,
+            )
+            for objective in FIXED_OBJECTIVES
+        }
+        return render_flexibility_figure(
+            "Figure 5 — runtime [s] of cSigma under fixed-set objectives",
+            series,
+        )
+
+    def figure6_objective_gap(self) -> str:
+        """cSigma gap under the fixed-set objectives (Figure 6)."""
+        self.run_fixed_objectives()
+        series = {
+            objective: series_over_flexibility(
+                [r for r in self.objective_records if r.objective_name == objective],
+                lambda r: r.gap,
+            )
+            for objective in FIXED_OBJECTIVES
+        }
+        return render_flexibility_figure(
+            "Figure 6 — objective gap of cSigma under fixed-set objectives",
+            series,
+        )
+
+    def figure7_greedy_performance(self) -> str:
+        """Greedy's shortfall vs. the exact cSigma optimum (Figure 7)."""
+        self.run_access_control()
+        self.run_greedy()
+        exact = {
+            (r.seed, r.flexibility): r.objective
+            for r in self.access_records
+            if r.algorithm == "csigma"
+        }
+        shortfalls: list[RunRecord] = []
+        for record in self.greedy_records:
+            opt = exact.get((record.seed, record.flexibility), math.nan)
+            shortfall = relative_performance(record.objective, opt)
+            shortfalls.append(
+                replace_record(record, objective=shortfall)
+            )
+        series = {
+            "greedy vs csigma": series_over_flexibility(
+                shortfalls, lambda r: r.objective
+            )
+        }
+        return render_flexibility_figure(
+            "Figure 7 — relative performance gap of greedy (0 = optimal)",
+            series,
+            fmt="{:.1%}",
+        )
+
+    def figure8_accepted(self) -> str:
+        """Requests embedded by cSigma per flexibility (Figure 8)."""
+        self.run_access_control()
+        series = {
+            "csigma": series_over_flexibility(
+                [r for r in self.access_records if r.algorithm == "csigma"],
+                lambda r: float(r.num_embedded),
+            )
+        }
+        return render_flexibility_figure(
+            "Figure 8 — number of requests embedded by cSigma", series
+        )
+
+    def figure9_improvement(self) -> str:
+        """Objective improvement over flexibility 0 (Figure 9)."""
+        self.run_access_control()
+        baselines = {
+            r.seed: r.objective
+            for r in self.access_records
+            if r.algorithm == "csigma" and r.flexibility == 0.0
+        }
+        improvements: list[RunRecord] = []
+        for record in self.access_records:
+            if record.algorithm != "csigma":
+                continue
+            base = baselines.get(record.seed, math.nan)
+            improvements.append(
+                replace_record(
+                    record,
+                    objective=relative_improvement(record.objective, base),
+                )
+            )
+        series = {
+            "csigma vs flex 0": series_over_flexibility(
+                improvements, lambda r: r.objective
+            )
+        }
+        return render_flexibility_figure(
+            "Figure 9 — relative improvement of access-control objective",
+            series,
+            fmt="{:.1%}",
+        )
+
+    def figure3_chart(self) -> str:
+        """Figure 3 as a log-scale bar chart (the paper's log y-axis)."""
+        from repro.evaluation.charts import series_chart
+
+        self.run_access_control()
+        series = {
+            model: series_over_flexibility(
+                self.access_records, lambda r: r.runtime, algorithm=model
+            )
+            for model in self.config.models
+        }
+        return series_chart(
+            series,
+            title="Figure 3 (chart) — runtime [s], log scale",
+            log_scale=True,
+        )
+
+    def figure8_chart(self) -> str:
+        """Figure 8 as a bar chart."""
+        from repro.evaluation.charts import series_chart
+
+        self.run_access_control()
+        series = {
+            "csigma": series_over_flexibility(
+                [r for r in self.access_records if r.algorithm == "csigma"],
+                lambda r: float(r.num_embedded),
+            )
+        }
+        return series_chart(
+            series, title="Figure 8 (chart) — requests embedded"
+        )
+
+    def render_all(self, charts: bool = False) -> str:
+        """All seven figures, ready for EXPERIMENTS.md.
+
+        With ``charts=True`` the runtime and acceptance figures are
+        additionally rendered as bar charts.
+        """
+        self.run_all()
+        parts = [
+            self.figure3_runtime(),
+            self.figure4_gap(),
+            self.figure5_objective_runtime(),
+            self.figure6_objective_gap(),
+            self.figure7_greedy_performance(),
+            self.figure8_accepted(),
+            self.figure9_improvement(),
+        ]
+        if charts:
+            parts.insert(1, self.figure3_chart())
+            parts.append(self.figure8_chart())
+        return "\n\n".join(parts)
+
+
+def replace_record(record: RunRecord, **changes) -> RunRecord:
+    """Shallow copy of a record with fields replaced."""
+    from dataclasses import replace as dc_replace
+
+    return dc_replace(record, **changes)

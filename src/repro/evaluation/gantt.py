@@ -1,0 +1,138 @@
+"""Schedule visualization: text Gantt charts and utilization reports.
+
+Turns a :class:`~repro.tvnep.solution.TemporalSolution` into the two
+views an operator actually looks at:
+
+* :func:`render_gantt` — one row per request, bars over the horizon
+  (rejected requests shown as such), so the *when* decisions of the
+  TVNEP are visible at a glance;
+* :func:`utilization_report` — per-resource peak and time-average
+  utilization, computed exactly from the piecewise-constant usage
+  profile (the same :class:`~repro.temporal.events.Timeline` sweep the
+  verifier uses).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.report import render_table
+from repro.temporal.events import Timeline
+from repro.tvnep.solution import TemporalSolution
+
+__all__ = ["render_gantt", "utilization_report"]
+
+
+def render_gantt(
+    solution: TemporalSolution,
+    width: int = 60,
+    show_rejected: bool = True,
+) -> str:
+    """Text Gantt chart of a temporal solution.
+
+    The horizon spans from the earliest window start to the latest
+    window end over all requests; each embedded request draws a bar
+    over its active interval, with its window marked by dots.
+    """
+    requests = list(solution.scheduled.values())
+    if not requests:
+        return "(empty solution)"
+    t0 = min(entry.request.earliest_start for entry in requests)
+    t1 = max(entry.request.latest_end for entry in requests)
+    span = max(t1 - t0, 1e-9)
+
+    def column(t: float) -> int:
+        return int(round((t - t0) / span * (width - 1)))
+
+    name_width = max(len(entry.name) for entry in requests)
+    lines = [
+        f"{' ' * name_width}  {t0:<8.2f}{' ' * max(0, width - 16)}{t1:>8.2f}"
+    ]
+    for entry in sorted(requests, key=lambda e: (e.start, e.name)):
+        row = [" "] * width
+        # window extent as dots
+        w0, w1 = column(entry.request.earliest_start), column(
+            entry.request.latest_end
+        )
+        for i in range(w0, min(w1 + 1, width)):
+            row[i] = "·"
+        label = entry.name.ljust(name_width)
+        if entry.embedded:
+            b0, b1 = column(entry.start), column(entry.end)
+            for i in range(b0, min(max(b1, b0 + 1), width)):
+                row[i] = "█"
+            suffix = f"  [{entry.start:.2f}, {entry.end:.2f}]"
+        else:
+            if not show_rejected:
+                continue
+            suffix = "  (rejected)"
+        lines.append(f"{label}  {''.join(row)}{suffix}")
+    return "\n".join(lines)
+
+
+def utilization_report(
+    solution: TemporalSolution,
+    top: int | None = None,
+    include_links: bool = True,
+) -> str:
+    """Per-resource peak and time-average utilization table.
+
+    The time average is taken over the solution's makespan window
+    (earliest embedded start to latest embedded end); resources that
+    are never touched are omitted.
+    """
+    from repro.temporal.interval import Interval
+    from repro.tvnep.feasibility import _snap_times
+
+    substrate = solution.substrate
+    timeline = Timeline()
+    # cluster solver-tolerance time slivers exactly like the verifier:
+    # otherwise back-to-back requests differing by 1e-13 read as overlap
+    snapped = _snap_times(solution, 1e-6)
+    starts, ends = [], []
+    for entry in solution.scheduled.values():
+        if not entry.embedded:
+            continue
+        lo = snapped.get(entry.start, entry.start)
+        hi = max(lo, snapped.get(entry.end, entry.end))
+        starts.append(lo)
+        ends.append(hi)
+        activity = Interval(lo, hi)
+        timeline.add_usages(entry.node_usage(), activity)
+        if include_links:
+            timeline.add_usages(entry.link_usage(), activity)
+    if not starts:
+        return "(nothing embedded)"
+    window = max(ends) - min(starts)
+    window = max(window, 1e-9)
+
+    rows = []
+    for resource in timeline.resources():
+        capacity = substrate.capacity(resource)
+        peak = timeline.peak(resource)
+        # exact time-average via the breakpoint sweep
+        breakpoints = timeline.breakpoints(resource)
+        area = 0.0
+        for lo, hi in zip(breakpoints, breakpoints[1:]):
+            mid = 0.5 * (lo + hi)
+            area += timeline.usage_at(resource, mid) * (hi - lo)
+        average = area / window
+        rows.append(
+            (
+                peak / capacity if capacity > 0 else 0.0,
+                [
+                    str(resource),
+                    f"{capacity:g}",
+                    f"{peak:.2f}",
+                    f"{100 * peak / capacity:.0f}%" if capacity > 0 else "-",
+                    f"{average:.2f}",
+                    f"{100 * average / capacity:.0f}%" if capacity > 0 else "-",
+                ],
+            )
+        )
+    rows.sort(key=lambda item: -item[0])
+    if top is not None:
+        rows = rows[:top]
+    return render_table(
+        ["resource", "capacity", "peak", "peak%", "avg", "avg%"],
+        [row for _, row in rows],
+        title="resource utilization (over the embedded makespan)",
+    )

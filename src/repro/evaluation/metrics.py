@@ -1,0 +1,67 @@
+"""Metrics used by the paper's figures.
+
+* Figure 4/6 — the *objective gap* of a timed-out branch-and-bound run
+  (infinite when no incumbent was found: the paper's ``inf`` marker).
+* Figure 7 — *relative performance* of the greedy heuristic versus the
+  exact cSigma optimum.
+* Figure 9 — *relative improvement* of the access-control objective
+  over the flexibility-0 baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "objective_gap",
+    "relative_performance",
+    "relative_improvement",
+    "percent",
+]
+
+
+def objective_gap(objective: float, best_bound: float) -> float:
+    """Branch-and-bound gap ``|bound - obj| / |obj|``; ``inf`` without
+    an incumbent (NaN objective) — Figures 4 and 6."""
+    if math.isnan(objective) or math.isnan(best_bound):
+        return math.inf
+    if math.isinf(objective) or math.isinf(best_bound):
+        return math.inf
+    return abs(best_bound - objective) / max(1e-10, abs(objective))
+
+
+def relative_performance(heuristic: float, optimal: float) -> float:
+    """How far the heuristic falls short: ``(opt - heur) / opt``.
+
+    0.0 means the heuristic matched the optimum; 0.05 means 5 % worse
+    (the paper's Figure 7 reports the median settling around 5 %).
+    Negative values (heuristic beats the reported "optimum") can occur
+    when the exact solver timed out with a suboptimal incumbent.
+    """
+    if math.isnan(heuristic) or math.isnan(optimal):
+        return math.nan
+    if abs(optimal) < 1e-12:
+        return 0.0 if abs(heuristic) < 1e-12 else math.inf
+    return (optimal - heuristic) / abs(optimal)
+
+
+def relative_improvement(value: float, baseline: float) -> float:
+    """Gain over a baseline: ``(value - baseline) / baseline``.
+
+    The paper's Figure 9 applies this to the access-control objective
+    with the flexibility-0 run as baseline.
+    """
+    if math.isnan(value) or math.isnan(baseline):
+        return math.nan
+    if abs(baseline) < 1e-12:
+        return 0.0 if abs(value) < 1e-12 else math.inf
+    return (value - baseline) / abs(baseline)
+
+
+def percent(fraction: float) -> str:
+    """Render a fraction as a percent string (``inf`` stays ``inf``)."""
+    if math.isnan(fraction):
+        return "nan"
+    if math.isinf(fraction):
+        return "inf"
+    return f"{100.0 * fraction:.1f}%"

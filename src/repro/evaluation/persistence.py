@@ -1,0 +1,128 @@
+"""Persisting evaluation records to disk.
+
+A paper-scale sweep (24 scenarios × 11 flexibilities × 3 formulations
+× 1 h limits) runs for days; losing the records to a crash or wanting
+to re-render figures without re-solving demands persistence.  Records
+are stored as JSON-lines (one record per line, append-friendly) with a
+small header line identifying the stream.
+
+The :class:`RecordStore` wraps an :class:`~repro.evaluation.experiments.Evaluation`
+so interrupted sweeps resume: cells whose records are already on disk
+are not re-solved.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import asdict
+from typing import Iterable
+
+from repro.evaluation.runner import RunRecord
+from repro.exceptions import ValidationError
+
+__all__ = ["save_records", "load_records", "append_record", "RecordStore"]
+
+_HEADER = {"format": "tvnep-records", "version": 1}
+
+
+def _encode(record: RunRecord) -> dict:
+    payload = asdict(record)
+    # JSON has no inf/nan literals; encode as strings
+    for key in ("objective", "gap"):
+        value = payload[key]
+        if isinstance(value, float) and not math.isfinite(value):
+            payload[key] = "inf" if math.isinf(value) else "nan"
+    return payload
+
+
+def _decode(payload: dict) -> RunRecord:
+    for key in ("objective", "gap"):
+        value = payload.get(key)
+        if value == "inf":
+            payload[key] = math.inf
+        elif value == "nan":
+            payload[key] = math.nan
+    return RunRecord(**payload)
+
+
+def save_records(records: Iterable[RunRecord], path: str) -> int:
+    """Write records as JSON-lines; returns how many were written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(_HEADER) + "\n")
+        for record in records:
+            fh.write(json.dumps(_encode(record)) + "\n")
+            count += 1
+    return count
+
+
+def append_record(record: RunRecord, path: str) -> None:
+    """Append one record, creating the file (with header) if missing."""
+    exists = os.path.exists(path) and os.path.getsize(path) > 0
+    with open(path, "a", encoding="utf-8") as fh:
+        if not exists:
+            fh.write(json.dumps(_HEADER) + "\n")
+        fh.write(json.dumps(_encode(record)) + "\n")
+
+
+def load_records(path: str) -> list[RunRecord]:
+    """Read a JSON-lines record file (validating the header)."""
+    records: list[RunRecord] = []
+    with open(path, encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            return []
+        header = json.loads(header_line)
+        if header.get("format") != _HEADER["format"]:
+            raise ValidationError(
+                f"not a record stream (format={header.get('format')!r})"
+            )
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(_decode(json.loads(line)))
+    return records
+
+
+class RecordStore:
+    """Append-only store with cell-level resume semantics.
+
+    A *cell* is ``(seed, flexibility, algorithm, objective_name)``;
+    :meth:`has` answers whether it was already measured, :meth:`add`
+    appends and indexes a new record.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.records: list[RunRecord] = (
+            load_records(path) if os.path.exists(path) else []
+        )
+        self._cells = {self._cell(r) for r in self.records}
+
+    @staticmethod
+    def _cell(record: RunRecord) -> tuple:
+        return (
+            record.seed,
+            record.flexibility,
+            record.algorithm,
+            record.objective_name,
+        )
+
+    def has(
+        self,
+        seed: int | None,
+        flexibility: float,
+        algorithm: str,
+        objective_name: str = "access_control",
+    ) -> bool:
+        return (seed, flexibility, algorithm, objective_name) in self._cells
+
+    def add(self, record: RunRecord) -> None:
+        append_record(record, self.path)
+        self.records.append(record)
+        self._cells.add(self._cell(record))
+
+    def __len__(self) -> int:
+        return len(self.records)

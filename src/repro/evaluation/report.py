@@ -1,0 +1,76 @@
+"""Plain-text rendering of evaluation results.
+
+The harness prints the paper's figures as aligned text tables (one row
+per flexibility level, one column per series) — the exact rows/series
+the paper plots, suitable for diffing across runs and for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.evaluation.aggregate import DistributionSummary
+
+__all__ = ["render_table", "render_flexibility_figure", "format_value"]
+
+
+def format_value(value: float, fmt: str = "{:.3g}") -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    return fmt.format(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """Render an aligned monospace table."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_flexibility_figure(
+    title: str,
+    series: Mapping[str, Mapping[float, DistributionSummary]],
+    value_label: str = "median [q1, q3]",
+    fmt: str = "{:.3g}",
+) -> str:
+    """Render one figure: rows = flexibility levels, columns = series.
+
+    Parameters
+    ----------
+    series:
+        ``{series name: {flexibility: summary}}`` — e.g. one entry per
+        MIP formulation for Figure 3.
+    """
+    flexibilities = sorted(
+        {flex for per_series in series.values() for flex in per_series}
+    )
+    headers = ["flex"] + [f"{name} ({value_label})" for name in series]
+    rows = []
+    for flex in flexibilities:
+        row = [f"{flex:g}"]
+        for name in series:
+            summary = series[name].get(flex)
+            row.append(summary.render(fmt) if summary else "-")
+        rows.append(row)
+    return render_table(headers, rows, title=title)

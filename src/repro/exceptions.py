@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so downstream
+users can catch a single base class.  Modeling errors (malformed
+expressions, duplicate names, bad bounds) derive from
+:class:`ModelingError`; solver-side failures derive from
+:class:`SolverError`; problem-data validation failures derive from
+:class:`ValidationError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelingError",
+    "SolverError",
+    "InfeasibleError",
+    "UnboundedError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ModelingError(ReproError):
+    """A mathematical-programming model was built incorrectly.
+
+    Examples: adding a variable twice, multiplying two expressions
+    (non-linear), constraining with a non-finite right-hand side.
+    """
+
+
+class SolverError(ReproError):
+    """A solver backend failed in an unexpected way.
+
+    This does *not* cover infeasible or unbounded models, which are
+    legitimate outcomes reported via :class:`~repro.mip.solution.SolveStatus`
+    (or the dedicated exceptions below when the caller requested a
+    must-succeed solve).
+    """
+
+
+class InfeasibleError(SolverError):
+    """Raised by convenience wrappers when a model required to be feasible
+    turns out infeasible."""
+
+
+class UnboundedError(SolverError):
+    """Raised by convenience wrappers when a model is unbounded."""
+
+
+class ValidationError(ReproError):
+    """Problem data (substrate, request, schedule, …) failed validation."""

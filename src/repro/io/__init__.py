@@ -1,0 +1,25 @@
+"""Instance and solution file I/O (versioned JSON schema)."""
+
+from repro.io.json_io import (
+    Instance,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_solution,
+    save_instance,
+    save_solution,
+    solution_from_dict,
+    solution_to_dict,
+)
+
+__all__ = [
+    "Instance",
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "solution_to_dict",
+    "solution_from_dict",
+    "save_solution",
+    "load_solution",
+]

@@ -1,0 +1,262 @@
+"""JSON (de)serialization of TVNEP instances and solutions.
+
+A downstream user needs a file format to exchange problem instances
+with the solvers; this module defines a small versioned JSON schema:
+
+.. code-block:: json
+
+    {
+      "format": "tvnep-instance",
+      "version": 1,
+      "substrate": {
+        "name": "grid2x2",
+        "nodes": [{"id": "s0", "capacity": 2.0}, ...],
+        "links": [{"tail": "s0", "head": "s1", "capacity": 3.0}, ...]
+      },
+      "requests": [
+        {
+          "name": "R0",
+          "nodes": [{"id": "v0", "demand": 1.0}, ...],
+          "links": [{"tail": "v0", "head": "v1", "demand": 0.5}, ...],
+          "start": 0.0, "end": 4.0, "duration": 2.0,
+          "node_mapping": {"v0": "s0"}        // optional
+        }, ...
+      ]
+    }
+
+Node/link identifiers are serialized as strings (the library accepts
+arbitrary hashables in memory; round-tripping through JSON makes them
+strings, which is documented and tested).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Hashable, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import ValidationError
+from repro.network.request import Request, TemporalSpec, VirtualNetwork
+from repro.network.substrate import SubstrateNetwork
+from repro.tvnep.solution import ScheduledRequest, TemporalSolution
+
+__all__ = [
+    "Instance",
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "solution_to_dict",
+    "solution_from_dict",
+    "save_solution",
+    "load_solution",
+]
+
+_INSTANCE_FORMAT = "tvnep-instance"
+_SOLUTION_FORMAT = "tvnep-solution"
+_VERSION = 1
+
+
+@dataclass
+class Instance:
+    """A complete TVNEP problem instance."""
+
+    substrate: SubstrateNetwork
+    requests: list[Request]
+    node_mappings: dict[str, dict[str, str]]
+
+    @property
+    def request_names(self) -> list[str]:
+        return [r.name for r in self.requests]
+
+
+def _key(value: Hashable) -> str:
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# instances
+# ----------------------------------------------------------------------
+def instance_to_dict(instance: Instance) -> dict[str, Any]:
+    """Serialize an instance to a JSON-compatible dictionary."""
+    substrate = instance.substrate
+    payload: dict[str, Any] = {
+        "format": _INSTANCE_FORMAT,
+        "version": _VERSION,
+        "substrate": {
+            "name": substrate.name,
+            "nodes": [
+                {"id": _key(n), "capacity": substrate.node_capacity(n)}
+                for n in substrate.nodes
+            ],
+            "links": [
+                {
+                    "tail": _key(u),
+                    "head": _key(v),
+                    "capacity": substrate.link_capacity((u, v)),
+                }
+                for (u, v) in substrate.links
+            ],
+        },
+        "requests": [],
+    }
+    for request in instance.requests:
+        vnet = request.vnet
+        entry: dict[str, Any] = {
+            "name": request.name,
+            "nodes": [
+                {"id": _key(v), "demand": vnet.node_demand(v)}
+                for v in vnet.nodes
+            ],
+            "links": [
+                {
+                    "tail": _key(t),
+                    "head": _key(h),
+                    "demand": vnet.link_demand((t, h)),
+                }
+                for (t, h) in vnet.links
+            ],
+            "start": request.earliest_start,
+            "end": request.latest_end,
+            "duration": request.duration,
+        }
+        mapping = instance.node_mappings.get(request.name)
+        if mapping:
+            entry["node_mapping"] = {_key(v): _key(s) for v, s in mapping.items()}
+        payload["requests"].append(entry)
+    return payload
+
+
+def instance_from_dict(payload: Mapping[str, Any]) -> Instance:
+    """Parse an instance dictionary (validating the schema header)."""
+    if payload.get("format") != _INSTANCE_FORMAT:
+        raise ValidationError(
+            f"not a TVNEP instance (format={payload.get('format')!r})"
+        )
+    if payload.get("version") != _VERSION:
+        raise ValidationError(
+            f"unsupported instance version {payload.get('version')!r}"
+        )
+    sub_payload = payload["substrate"]
+    substrate = SubstrateNetwork(sub_payload.get("name", "substrate"))
+    for node in sub_payload["nodes"]:
+        substrate.add_node(node["id"], node["capacity"])
+    for link in sub_payload["links"]:
+        substrate.add_link(link["tail"], link["head"], link["capacity"])
+
+    requests: list[Request] = []
+    node_mappings: dict[str, dict[str, str]] = {}
+    for entry in payload["requests"]:
+        vnet = VirtualNetwork(entry["name"])
+        for node in entry["nodes"]:
+            vnet.add_node(node["id"], node["demand"])
+        for link in entry["links"]:
+            vnet.add_link(link["tail"], link["head"], link["demand"])
+        spec = TemporalSpec(entry["start"], entry["end"], entry["duration"])
+        requests.append(Request(vnet, spec))
+        if "node_mapping" in entry:
+            node_mappings[entry["name"]] = dict(entry["node_mapping"])
+    return Instance(
+        substrate=substrate, requests=requests, node_mappings=node_mappings
+    )
+
+
+def save_instance(instance: Instance, path: str) -> None:
+    """Write an instance to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(instance_to_dict(instance), fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_instance(path: str) -> Instance:
+    """Read an instance from a JSON file."""
+    with open(path, encoding="utf-8") as fh:
+        return instance_from_dict(json.load(fh))
+
+
+# ----------------------------------------------------------------------
+# solutions
+# ----------------------------------------------------------------------
+def solution_to_dict(solution: TemporalSolution) -> dict[str, Any]:
+    """Serialize a temporal solution (references requests by name)."""
+    payload: dict[str, Any] = {
+        "format": _SOLUTION_FORMAT,
+        "version": _VERSION,
+        "model": solution.model_name,
+        "objective": solution.objective,
+        "runtime": solution.runtime,
+        "gap": solution.gap,
+        "schedule": [],
+    }
+    for name, entry in solution.scheduled.items():
+        item: dict[str, Any] = {
+            "request": name,
+            "embedded": entry.embedded,
+            "start": entry.start,
+            "end": entry.end,
+        }
+        if entry.embedded:
+            item["node_mapping"] = {
+                _key(v): _key(s) for v, s in entry.node_mapping.items()
+            }
+            item["link_flows"] = [
+                {
+                    "virtual": [_key(lv[0]), _key(lv[1])],
+                    "substrate": [_key(ls[0]), _key(ls[1])],
+                    "fraction": fraction,
+                }
+                for lv, flows in entry.link_flows.items()
+                for ls, fraction in flows.items()
+            ]
+        payload["schedule"].append(item)
+    return payload
+
+
+def solution_from_dict(
+    payload: Mapping[str, Any], instance: Instance
+) -> TemporalSolution:
+    """Parse a solution dictionary against its instance."""
+    if payload.get("format") != _SOLUTION_FORMAT:
+        raise ValidationError(
+            f"not a TVNEP solution (format={payload.get('format')!r})"
+        )
+    by_name = {r.name: r for r in instance.requests}
+    scheduled: dict[str, ScheduledRequest] = {}
+    for item in payload["schedule"]:
+        name = item["request"]
+        request = by_name.get(name)
+        if request is None:
+            raise ValidationError(f"solution references unknown request {name!r}")
+        link_flows: dict[tuple, dict[tuple, float]] = {}
+        for flow in item.get("link_flows", []):
+            lv = tuple(flow["virtual"])
+            ls = tuple(flow["substrate"])
+            link_flows.setdefault(lv, {})[ls] = flow["fraction"]
+        scheduled[name] = ScheduledRequest(
+            request=request,
+            embedded=item["embedded"],
+            start=item["start"],
+            end=item["end"],
+            node_mapping=dict(item.get("node_mapping", {})),
+            link_flows=link_flows,
+        )
+    return TemporalSolution(
+        instance.substrate,
+        scheduled,
+        objective=payload.get("objective", float("nan")),
+        model_name=payload.get("model", ""),
+        runtime=payload.get("runtime", 0.0),
+        gap=payload.get("gap", 0.0),
+    )
+
+
+def save_solution(solution: TemporalSolution, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(solution_to_dict(solution), fh, indent=2)
+        fh.write("\n")
+
+
+def load_solution(path: str, instance: Instance) -> TemporalSolution:
+    with open(path, encoding="utf-8") as fh:
+        return solution_from_dict(json.load(fh), instance)

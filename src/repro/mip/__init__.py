@@ -1,0 +1,87 @@
+"""A compact mixed-integer programming modeling layer.
+
+This subpackage is the mathematical-programming substrate of the
+reproduction: no external modeling library (PuLP/Pyomo) is assumed.
+It offers:
+
+* an expression algebra (:mod:`repro.mip.expr`),
+* constraints and models (:mod:`repro.mip.constraint`,
+  :mod:`repro.mip.model`),
+* two solver backends — HiGHS via SciPy
+  (:mod:`repro.mip.highs_backend`) and a pure-Python branch-and-bound
+  solver (:mod:`repro.mip.bnb`),
+* an LP-format writer (:mod:`repro.mip.writer`).
+
+Quick example
+-------------
+>>> from repro.mip import Model, ObjectiveSense, solve
+>>> m = Model()
+>>> x = m.binary_var("x"); y = m.binary_var("y")
+>>> _ = m.add_constr(x + y <= 1)
+>>> m.set_objective(2 * x + 3 * y, ObjectiveSense.MAXIMIZE)
+>>> solve(m).objective
+3.0
+"""
+
+from repro.mip.constraint import Constraint, Sense
+from repro.mip.expr import LinExpr, Variable, VarType, quicksum
+from repro.mip.highs_backend import solve as solve_highs
+from repro.mip.highs_backend import solve_relaxation
+from repro.mip.model import Model, ObjectiveSense, StandardForm
+from repro.mip.reader import read_lp, read_lp_file
+from repro.mip.solution import Solution, SolveStatus, relative_gap
+from repro.mip.writer import write_lp, write_lp_file
+
+__all__ = [
+    "Model",
+    "ObjectiveSense",
+    "StandardForm",
+    "Variable",
+    "VarType",
+    "LinExpr",
+    "quicksum",
+    "Constraint",
+    "Sense",
+    "Solution",
+    "SolveStatus",
+    "relative_gap",
+    "solve",
+    "solve_highs",
+    "solve_bnb",
+    "solve_relaxation",
+    "write_lp",
+    "write_lp_file",
+    "read_lp",
+    "read_lp_file",
+]
+
+
+def solve(model, backend: str = "highs", **kwargs):
+    """Solve a model with the chosen backend.
+
+    Parameters
+    ----------
+    model:
+        The :class:`Model` to solve.
+    backend:
+        ``"highs"`` (default, exact branch-and-cut via SciPy) or
+        ``"bnb"`` (pure-Python branch-and-bound).
+    **kwargs:
+        Forwarded to the backend (``time_limit``, ``mip_gap``,
+        ``node_limit``, and for ``bnb`` also ``branching`` /
+        ``node_selection``).
+    """
+    if backend == "highs":
+        return solve_highs(model, **kwargs)
+    if backend == "bnb":
+        from repro.mip.bnb import solve as _solve_bnb
+
+        return _solve_bnb(model, **kwargs)
+    raise ValueError(f"unknown backend {backend!r}; expected 'highs' or 'bnb'")
+
+
+def solve_bnb(model, **kwargs):
+    """Solve with the pure-Python branch-and-bound backend."""
+    from repro.mip.bnb import solve as _solve_bnb
+
+    return _solve_bnb(model, **kwargs)

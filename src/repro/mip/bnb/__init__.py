@@ -1,0 +1,45 @@
+"""Pure-Python LP-based branch-and-bound MILP solver.
+
+See :class:`repro.mip.bnb.solver.BranchAndBoundSolver` for the entry
+point and the module docstring for why this backend exists alongside
+HiGHS.
+"""
+
+from repro.mip.bnb.branching import (
+    BranchingRule,
+    FirstFractionalBranching,
+    MostFractionalBranching,
+    PseudoCostBranching,
+    make_branching_rule,
+)
+from repro.mip.bnb.cover_cuts import extend_form_with_cuts, separate_cover_cuts
+from repro.mip.bnb.node import BranchNode
+from repro.mip.bnb.presolve import PresolveResult, tighten_bounds
+from repro.mip.bnb.node_selection import (
+    BestBoundSelection,
+    DepthFirstSelection,
+    HybridSelection,
+    NodeSelection,
+    make_node_selection,
+)
+from repro.mip.bnb.solver import BranchAndBoundSolver, solve
+
+__all__ = [
+    "BranchAndBoundSolver",
+    "solve",
+    "BranchNode",
+    "separate_cover_cuts",
+    "extend_form_with_cuts",
+    "tighten_bounds",
+    "PresolveResult",
+    "BranchingRule",
+    "MostFractionalBranching",
+    "FirstFractionalBranching",
+    "PseudoCostBranching",
+    "make_branching_rule",
+    "NodeSelection",
+    "BestBoundSelection",
+    "DepthFirstSelection",
+    "HybridSelection",
+    "make_node_selection",
+]

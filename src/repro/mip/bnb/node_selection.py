@@ -1,0 +1,161 @@
+"""Node-selection strategies (the "which open node next?" question).
+
+* :class:`BestBoundSelection` — always expand the node with the best
+  inherited LP bound; minimizes proven-bound slack but explores broadly.
+* :class:`DepthFirstSelection` — LIFO stack; finds incumbents quickly
+  with minimal memory, can wander on weak relaxations.
+* :class:`HybridSelection` — depth-first until the first incumbent, then
+  best-bound ("plunge then prove"), which is what modern solvers
+  effectively do and works well on the weakly-relaxed Delta-Model.
+
+All strategies expose the same three methods (``push``, ``pop``,
+``__len__``) plus ``prune(cutoff)`` for removing dominated nodes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+
+from repro.mip.bnb.node import BranchNode
+
+__all__ = [
+    "NodeSelection",
+    "BestBoundSelection",
+    "DepthFirstSelection",
+    "HybridSelection",
+    "make_node_selection",
+]
+
+
+class NodeSelection(ABC):
+    """Strategy interface over the open-node collection.
+
+    Bounds are in the *internal* minimization sense: smaller is better.
+    """
+
+    @abstractmethod
+    def push(self, node: BranchNode) -> None:
+        """Add an open node."""
+
+    @abstractmethod
+    def pop(self) -> BranchNode:
+        """Remove and return the next node to expand."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of open nodes."""
+
+    @abstractmethod
+    def best_bound(self) -> float:
+        """Best (smallest) inherited bound among open nodes; +inf if empty."""
+
+    @abstractmethod
+    def prune(self, cutoff: float) -> int:
+        """Drop nodes whose bound is >= cutoff; return how many were cut."""
+
+    def notify_incumbent(self) -> None:
+        """Hook invoked when a new incumbent is found."""
+
+
+class BestBoundSelection(NodeSelection):
+    """Priority queue keyed by inherited LP bound (ties: FIFO by seq)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, BranchNode]] = []
+
+    def push(self, node: BranchNode) -> None:
+        heapq.heappush(self._heap, (node.lp_bound, node.seq, node))
+
+    def pop(self) -> BranchNode:
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def best_bound(self) -> float:
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def prune(self, cutoff: float) -> int:
+        keep = [entry for entry in self._heap if entry[0] < cutoff]
+        cut = len(self._heap) - len(keep)
+        if cut:
+            heapq.heapify(keep)
+            self._heap = keep
+        return cut
+
+
+class DepthFirstSelection(NodeSelection):
+    """LIFO stack (children pushed best-last are expanded first)."""
+
+    def __init__(self) -> None:
+        self._stack: list[BranchNode] = []
+
+    def push(self, node: BranchNode) -> None:
+        self._stack.append(node)
+
+    def pop(self) -> BranchNode:
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def best_bound(self) -> float:
+        if not self._stack:
+            return float("inf")
+        return min(node.lp_bound for node in self._stack)
+
+    def prune(self, cutoff: float) -> int:
+        before = len(self._stack)
+        self._stack = [n for n in self._stack if n.lp_bound < cutoff]
+        return before - len(self._stack)
+
+
+class HybridSelection(NodeSelection):
+    """Depth-first until the first incumbent, then best-bound.
+
+    On switching, all open nodes migrate into the priority queue.
+    """
+
+    def __init__(self) -> None:
+        self._dfs = DepthFirstSelection()
+        self._best = BestBoundSelection()
+        self._diving = True
+
+    def push(self, node: BranchNode) -> None:
+        (self._dfs if self._diving else self._best).push(node)
+
+    def pop(self) -> BranchNode:
+        if self._diving:
+            return self._dfs.pop()
+        return self._best.pop()
+
+    def __len__(self) -> int:
+        return len(self._dfs) + len(self._best)
+
+    def best_bound(self) -> float:
+        return min(self._dfs.best_bound(), self._best.best_bound())
+
+    def prune(self, cutoff: float) -> int:
+        return self._dfs.prune(cutoff) + self._best.prune(cutoff)
+
+    def notify_incumbent(self) -> None:
+        if self._diving:
+            self._diving = False
+            while len(self._dfs):
+                self._best.push(self._dfs.pop())
+
+
+def make_node_selection(name: str) -> NodeSelection:
+    """Factory: ``"best_bound"``, ``"dfs"`` or ``"hybrid"``."""
+    table = {
+        "best_bound": BestBoundSelection,
+        "dfs": DepthFirstSelection,
+        "hybrid": HybridSelection,
+    }
+    try:
+        return table[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown node selection {name!r}; expected one of {sorted(table)}"
+        ) from None

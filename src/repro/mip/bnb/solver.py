@@ -1,0 +1,425 @@
+"""A pure-Python LP-based branch-and-bound MILP solver.
+
+This solver exists for two reasons:
+
+1. It is a genuine second backend, so every model in this library can be
+   cross-checked against HiGHS (the tests do exactly that).
+2. It exposes the branch-and-bound *node count*, which makes the paper's
+   central claim measurable in isolation: the Delta-Model's weak big-M
+   relaxation forces dramatically more nodes than the Sigma-/cSigma-
+   Models on identical instances (see
+   ``benchmarks/bench_ablation_relaxation.py``).
+
+The implementation solves LP relaxations with HiGHS (``linprog``) over a
+shared constraint matrix, varying only the variable-bound arrays per
+node.  Branching and node-selection strategies are pluggable
+(:mod:`repro.mip.bnb.branching`, :mod:`repro.mip.bnb.node_selection`).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.mip.bnb.branching import (
+    BranchingRule,
+    fractional_columns,
+    make_branching_rule,
+)
+from repro.mip.bnb.node import BranchNode
+from repro.mip.bnb.node_selection import NodeSelection, make_node_selection
+from repro.mip.highs_backend import _lp_data
+from repro.mip.model import Model, StandardForm
+from repro.mip.solution import Solution, SolveStatus
+
+__all__ = ["BranchAndBoundSolver", "solve"]
+
+BNB_NAME = "bnb"
+
+
+class _LPOutcome:
+    """Result of one node LP: internal-sense objective + point."""
+
+    __slots__ = ("status", "x", "internal_obj")
+
+    def __init__(self, status: str, x: np.ndarray | None, internal_obj: float):
+        self.status = status  # "optimal" | "infeasible" | "unbounded" | "error"
+        self.x = x
+        self.internal_obj = internal_obj
+
+
+class BranchAndBoundSolver:
+    """Configurable branch-and-bound solver.
+
+    Parameters
+    ----------
+    branching:
+        Branching rule name (``most_fractional``/``first``/``pseudocost``)
+        or a :class:`BranchingRule` instance.
+    node_selection:
+        Node-selection name (``best_bound``/``dfs``/``hybrid``) or a
+        :class:`NodeSelection` instance.
+    mip_gap:
+        Relative gap at which the search stops.
+    integrality_tol:
+        LP values within this distance of an integer count as integral.
+    """
+
+    def __init__(
+        self,
+        branching: str | BranchingRule = "pseudocost",
+        node_selection: str | NodeSelection = "hybrid",
+        mip_gap: float = 1e-6,
+        integrality_tol: float = 1e-6,
+        presolve: bool = True,
+        rounding_heuristic: bool = True,
+        cover_cuts: bool = False,
+        max_cut_rounds: int = 5,
+    ) -> None:
+        self._branching_spec = branching
+        self._selection_spec = node_selection
+        self.mip_gap = mip_gap
+        self.integrality_tol = integrality_tol
+        self.presolve = presolve
+        self.rounding_heuristic = rounding_heuristic
+        self.cover_cuts = cover_cuts
+        self.max_cut_rounds = max_cut_rounds
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        model: Model,
+        time_limit: float | None = None,
+        node_limit: int | None = None,
+    ) -> Solution:
+        """Run branch-and-bound on ``model``.
+
+        Returns a :class:`Solution` whose ``node_count`` is the number of
+        LP relaxations solved.
+        """
+        form = model.to_standard_form()
+        rule = (
+            self._branching_spec
+            if isinstance(self._branching_spec, BranchingRule)
+            else make_branching_rule(self._branching_spec)
+        )
+        selection = (
+            self._selection_spec
+            if isinstance(self._selection_spec, NodeSelection)
+            else make_node_selection(self._selection_spec)
+        )
+
+        start = time.perf_counter()
+        deadline = start + time_limit if time_limit is not None else math.inf
+
+        incumbent_x: np.ndarray | None = None
+        incumbent_internal = math.inf  # internal = minimization objective
+        nodes_processed = 0
+        hit_limit = False
+
+        root_lb, root_ub = form.lb, form.ub
+        if self.presolve:
+            from repro.mip.bnb.presolve import tighten_bounds
+
+            presolved = tighten_bounds(form, root_lb, root_ub)
+            if not presolved.feasible:
+                return self._finish(
+                    form, None, math.inf, math.inf, start, 0, False
+                )
+            root_lb, root_ub = presolved.lb, presolved.ub
+
+        root = BranchNode(lp_bound=-math.inf)
+        root_outcome = self._solve_lp(form, root_lb, root_ub)
+        nodes_processed += 1
+        if root_outcome.status == "infeasible":
+            return self._finish(
+                form, None, math.inf, math.inf, start, nodes_processed, False
+            )
+        if root_outcome.status == "unbounded":
+            return Solution(
+                status=SolveStatus.UNBOUNDED,
+                runtime=time.perf_counter() - start,
+                node_count=nodes_processed,
+                solver=BNB_NAME,
+            )
+        if root_outcome.status == "error":
+            return Solution(
+                status=SolveStatus.ERROR,
+                runtime=time.perf_counter() - start,
+                node_count=nodes_processed,
+                solver=BNB_NAME,
+                message="root LP failed",
+            )
+
+        # cut-and-branch: strengthen the root with cover cuts
+        if self.cover_cuts:
+            from repro.mip.bnb.cover_cuts import (
+                extend_form_with_cuts,
+                separate_cover_cuts,
+            )
+
+            for _ in range(self.max_cut_rounds):
+                if root_outcome.x is None:
+                    break
+                if fractional_columns(
+                    root_outcome.x, form.integrality, self.integrality_tol
+                ).size == 0:
+                    break
+                cuts = separate_cover_cuts(form, root_outcome.x)
+                if not cuts:
+                    break
+                form = extend_form_with_cuts(form, cuts)
+                root_outcome = self._solve_lp(form, root_lb, root_ub)
+                nodes_processed += 1
+                if root_outcome.status != "optimal":
+                    break
+            if root_outcome.status == "infeasible":
+                return self._finish(
+                    form, None, math.inf, math.inf, start, nodes_processed, False
+                )
+
+        root.lp_bound = root_outcome.internal_obj
+        global_bound = root_outcome.internal_obj
+        frontier_open = True
+
+        # try to manufacture an incumbent by rounding the root LP
+        if self.rounding_heuristic and root_outcome.x is not None:
+            rounded = self._try_rounding(form, root_outcome.x, root_lb, root_ub)
+            if rounded is not None:
+                nodes_processed += 1
+                incumbent_internal, incumbent_x = rounded
+                selection.notify_incumbent()
+
+        # queue of (node, lp outcome) pairs whose relaxation is solved
+        pending: list[tuple[BranchNode, _LPOutcome]] = [(root, root_outcome)]
+
+        while pending or len(selection):
+            if time.perf_counter() > deadline:
+                hit_limit = True
+                break
+            if node_limit is not None and nodes_processed >= node_limit:
+                hit_limit = True
+                break
+
+            if pending:
+                node, outcome = pending.pop()
+            else:
+                node = selection.pop()
+                lb, ub = node.materialize_bounds(root_lb, root_ub)
+                outcome = self._solve_lp(form, lb, ub)
+                nodes_processed += 1
+
+            if outcome.status != "optimal":
+                continue  # infeasible subtree
+            if outcome.internal_obj >= incumbent_internal - self._cutoff_slack(
+                incumbent_internal
+            ):
+                continue  # bound-dominated
+
+            x = outcome.x
+            assert x is not None
+            fractional = fractional_columns(x, form.integrality, self.integrality_tol)
+            if fractional.size == 0:
+                # integral solution: new incumbent
+                if outcome.internal_obj < incumbent_internal:
+                    incumbent_internal = outcome.internal_obj
+                    incumbent_x = x.copy()
+                    selection.notify_incumbent()
+                    selection.prune(
+                        incumbent_internal - self._cutoff_slack(incumbent_internal)
+                    )
+                continue
+
+            branch_col = rule.select(x, form.integrality)
+            value = x[branch_col]
+            floor_val = math.floor(value + self.integrality_tol)
+
+            node_lb, node_ub = node.materialize_bounds(root_lb, root_ub)
+            children = []
+            # down child: x <= floor(value)
+            if floor_val >= node_lb[branch_col] - 1e-12:
+                children.append(
+                    ("down", node.child(branch_col, node_lb[branch_col], floor_val, outcome.internal_obj))
+                )
+            # up child: x >= floor(value) + 1
+            if floor_val + 1 <= node_ub[branch_col] + 1e-12:
+                children.append(
+                    ("up", node.child(branch_col, floor_val + 1, node_ub[branch_col], outcome.internal_obj))
+                )
+
+            for direction, child in children:
+                if time.perf_counter() > deadline:
+                    hit_limit = True
+                    selection.push(child)
+                    continue
+                clb, cub = child.materialize_bounds(root_lb, root_ub)
+                child_outcome = self._solve_lp(form, clb, cub)
+                nodes_processed += 1
+                child_bound = (
+                    child_outcome.internal_obj
+                    if child_outcome.status == "optimal"
+                    else math.inf
+                )
+                rule.observe(branch_col, direction, outcome.internal_obj, child_bound)
+                if child_outcome.status != "optimal":
+                    continue
+                if child_bound >= incumbent_internal - self._cutoff_slack(
+                    incumbent_internal
+                ):
+                    continue
+                child.lp_bound = child_bound
+                selection.push(child)
+            if hit_limit:
+                break
+
+            # stop when gap closed
+            open_best = min(
+                selection.best_bound(),
+                min((n.lp_bound for n, _ in pending), default=math.inf),
+            )
+            global_bound = open_best
+            if incumbent_internal < math.inf and self._gap_closed(
+                incumbent_internal, open_best
+            ):
+                frontier_open = False
+                break
+
+        if not pending and len(selection) == 0:
+            frontier_open = False
+
+        if frontier_open:
+            final_bound = min(
+                global_bound,
+                selection.best_bound(),
+                min((n.lp_bound for n, _ in pending), default=math.inf),
+            )
+        else:
+            final_bound = incumbent_internal
+        return self._finish(
+            form,
+            incumbent_x,
+            incumbent_internal,
+            final_bound,
+            start,
+            nodes_processed,
+            hit_limit or frontier_open,
+        )
+
+    # ------------------------------------------------------------------
+    def _cutoff_slack(self, incumbent_internal: float) -> float:
+        """How much worse than the incumbent a bound may be and still be cut."""
+        if math.isinf(incumbent_internal):
+            return 0.0
+        return self.mip_gap * max(1.0, abs(incumbent_internal)) * 0.5
+
+    def _gap_closed(self, incumbent: float, bound: float) -> bool:
+        if math.isinf(bound):
+            return True
+        return (incumbent - bound) <= self.mip_gap * max(1e-10, abs(incumbent))
+
+    def _try_rounding(
+        self,
+        form: StandardForm,
+        x: np.ndarray,
+        lb: np.ndarray,
+        ub: np.ndarray,
+    ) -> tuple[float, np.ndarray] | None:
+        """Round-and-repair primal heuristic.
+
+        Fix every integral column to its nearest in-bounds integer and
+        re-solve the LP over the continuous columns.  Returns
+        ``(internal objective, point)`` when the repair succeeds.
+        """
+        mask = form.integrality.astype(bool)
+        if not mask.any():
+            return None
+        fixed = np.clip(np.round(x[mask]), lb[mask], ub[mask])
+        trial_lb = lb.copy()
+        trial_ub = ub.copy()
+        trial_lb[mask] = fixed
+        trial_ub[mask] = fixed
+        outcome = self._solve_lp(form, trial_lb, trial_ub)
+        if outcome.status != "optimal" or outcome.x is None:
+            return None
+        return outcome.internal_obj, outcome.x.copy()
+
+    def _solve_lp(self, form: StandardForm, lb: np.ndarray, ub: np.ndarray) -> _LPOutcome:
+        A_ub, b_ub, A_eq, b_eq = _lp_data(form)
+        res = linprog(
+            c=form.c,
+            A_ub=A_ub,
+            b_ub=b_ub,
+            A_eq=A_eq,
+            b_eq=b_eq,
+            bounds=np.column_stack([lb, ub]),
+            method="highs",
+        )
+        if res.status == 0:
+            return _LPOutcome("optimal", np.asarray(res.x, dtype=float), float(res.fun))
+        if res.status == 2:
+            return _LPOutcome("infeasible", None, math.inf)
+        if res.status == 3:
+            return _LPOutcome("unbounded", None, -math.inf)
+        return _LPOutcome("error", None, math.nan)
+
+    def _finish(
+        self,
+        form: StandardForm,
+        incumbent_x: np.ndarray | None,
+        incumbent_internal: float,
+        bound_internal: float,
+        start: float,
+        nodes: int,
+        interrupted: bool,
+    ) -> Solution:
+        runtime = time.perf_counter() - start
+        if incumbent_x is None:
+            status = SolveStatus.NO_SOLUTION if interrupted else SolveStatus.INFEASIBLE
+            return Solution(
+                status=status,
+                runtime=runtime,
+                node_count=nodes,
+                solver=BNB_NAME,
+                best_bound=(
+                    form.user_bound(bound_internal)
+                    if math.isfinite(bound_internal)
+                    else math.nan
+                ),
+            )
+        values = {var: float(incumbent_x[i]) for i, var in enumerate(form.variables)}
+        objective = form.user_objective(incumbent_x)
+        user_bound = (
+            form.user_bound(bound_internal)
+            if math.isfinite(bound_internal)
+            else objective
+        )
+        status = SolveStatus.FEASIBLE if interrupted else SolveStatus.OPTIMAL
+        if status is SolveStatus.OPTIMAL:
+            user_bound = objective
+        return Solution(
+            status=status,
+            objective=objective,
+            values=values,
+            best_bound=user_bound,
+            runtime=runtime,
+            node_count=nodes,
+            solver=BNB_NAME,
+        )
+
+
+def solve(
+    model: Model,
+    time_limit: float | None = None,
+    node_limit: int | None = None,
+    mip_gap: float = 1e-6,
+    branching: str = "pseudocost",
+    node_selection: str = "hybrid",
+) -> Solution:
+    """Convenience wrapper around :class:`BranchAndBoundSolver`."""
+    solver = BranchAndBoundSolver(
+        branching=branching, node_selection=node_selection, mip_gap=mip_gap
+    )
+    return solver.solve(model, time_limit=time_limit, node_limit=node_limit)

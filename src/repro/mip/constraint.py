@@ -1,0 +1,112 @@
+"""Linear constraints for the MIP modeling layer.
+
+A :class:`Constraint` is stored in normalized form ``expr (<=|>=|==) rhs``
+where ``expr`` carries all variable terms and ``rhs`` is a plain float
+(the original constant terms of both sides are folded into ``rhs``).
+Constraints are produced by comparing expressions, e.g.::
+
+    model.add_constr(2 * x + y <= 5, name="cap")
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections.abc import Mapping
+
+from repro.exceptions import ModelingError
+from repro.mip.expr import LinExpr, Variable
+
+__all__ = ["Sense", "Constraint"]
+
+
+class Sense(enum.Enum):
+    """Direction of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+    def flip(self) -> "Sense":
+        """Sense obtained when both sides are negated."""
+        if self is Sense.LE:
+            return Sense.GE
+        if self is Sense.GE:
+            return Sense.LE
+        return Sense.EQ
+
+
+class Constraint:
+    """A normalized linear constraint ``lhs sense rhs``.
+
+    ``lhs`` is a :class:`LinExpr` with zero constant; ``rhs`` is a float.
+    """
+
+    __slots__ = ("lhs", "sense", "rhs", "name")
+
+    def __init__(
+        self,
+        lhs: LinExpr,
+        sense: Sense,
+        rhs: float,
+        name: str = "",
+    ) -> None:
+        if math.isnan(rhs):
+            raise ModelingError("constraint right-hand side is NaN")
+        if lhs.constant:
+            rhs = rhs - lhs.constant
+            lhs = LinExpr(lhs.terms, 0.0)
+        self.lhs = lhs
+        self.sense = sense
+        self.rhs = float(rhs)
+        self.name = name
+
+    @classmethod
+    def from_sides(cls, left: LinExpr, right: LinExpr, sense: Sense) -> "Constraint":
+        """Build a constraint from two expression sides.
+
+        Variable terms are gathered on the left, constants on the right.
+        """
+        lhs = left - right
+        rhs = -lhs.constant
+        return cls(LinExpr(lhs.terms, 0.0), sense, rhs)
+
+    # -- introspection -----------------------------------------------------
+    def variables(self) -> list[Variable]:
+        """Variables participating in the constraint."""
+        return self.lhs.variables()
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when no variable participates (e.g. ``0 <= 3``)."""
+        return self.lhs.is_constant
+
+    def trivially_holds(self, tol: float = 1e-9) -> bool:
+        """For a trivial constraint, whether it is satisfied."""
+        if not self.is_trivial:
+            raise ModelingError("trivially_holds() requires a trivial constraint")
+        return self._compare(0.0, tol)
+
+    def satisfied_by(self, values: Mapping[Variable, float], tol: float = 1e-6) -> bool:
+        """Check the constraint under a variable assignment."""
+        return self._compare(self.lhs.evaluate(values), tol)
+
+    def violation(self, values: Mapping[Variable, float]) -> float:
+        """Non-negative violation magnitude under an assignment."""
+        activity = self.lhs.evaluate(values)
+        if self.sense is Sense.LE:
+            return max(0.0, activity - self.rhs)
+        if self.sense is Sense.GE:
+            return max(0.0, self.rhs - activity)
+        return abs(activity - self.rhs)
+
+    def _compare(self, activity: float, tol: float) -> bool:
+        if self.sense is Sense.LE:
+            return activity <= self.rhs + tol
+        if self.sense is Sense.GE:
+            return activity >= self.rhs - tol
+        return abs(activity - self.rhs) <= tol
+
+    def __repr__(self) -> str:
+        label = f" [{self.name}]" if self.name else ""
+        return f"Constraint({self.lhs!r} {self.sense.value} {self.rhs:g}{label})"

@@ -1,0 +1,341 @@
+"""Linear expressions and decision variables for the MIP modeling layer.
+
+This module provides a small but complete algebra for building linear
+mixed-integer programs in pure Python:
+
+* :class:`VarType` — continuous / binary / integer domains.
+* :class:`Variable` — a named decision variable with bounds and a domain.
+* :class:`LinExpr` — an affine expression ``sum_i coef_i * var_i + const``
+  stored sparsely as a ``dict`` keyed by variable.
+
+Both :class:`Variable` and :class:`LinExpr` support the usual arithmetic
+operators (``+``, ``-``, ``*`` by scalars, ``/`` by scalars, unary ``-``)
+and the comparison operators ``<=``, ``>=``, ``==`` which build
+:class:`~repro.mip.constraint.Constraint` objects.
+
+Design notes
+------------
+The implementation follows the "make it work, make it legible" guidance:
+expressions are plain dictionaries, and heavy lifting (matrix assembly)
+happens once in :meth:`repro.mip.model.Model.to_standard_form` using
+vectorized NumPy/SciPy operations.  Building a model with ~1e5 terms takes
+well under a second.
+
+``quicksum`` mirrors the Gurobi/PuLP idiom and avoids the quadratic
+behaviour of repeated ``+`` on immutable expressions by accumulating into a
+single mutable dictionary.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections.abc import Iterable, Mapping
+from typing import Union
+
+from repro.exceptions import ModelingError
+
+__all__ = ["VarType", "Variable", "LinExpr", "quicksum", "as_expr", "Number"]
+
+Number = Union[int, float]
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    BINARY = "binary"
+    INTEGER = "integer"
+
+    @property
+    def is_integral(self) -> bool:
+        """Whether the domain only admits integer values."""
+        return self in (VarType.BINARY, VarType.INTEGER)
+
+
+class Variable:
+    """A single decision variable.
+
+    Variables are created through :meth:`repro.mip.model.Model.add_var`
+    (or the ``binary_var``/``continuous_var`` helpers), which assigns the
+    ``index`` used for matrix assembly.  They hash by identity, so two
+    variables with the same name in different models never collide.
+
+    Parameters
+    ----------
+    name:
+        Human-readable unique name (used by the LP writer and in
+        solutions).
+    lb, ub:
+        Lower/upper bound.  ``-inf``/``inf`` are permitted for continuous
+        and integer variables.
+    vtype:
+        Domain of the variable.
+    index:
+        Column index inside the owning model.
+    """
+
+    __slots__ = ("name", "lb", "ub", "vtype", "index")
+
+    def __init__(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        vtype: VarType = VarType.CONTINUOUS,
+        index: int = -1,
+    ) -> None:
+        if not isinstance(name, str) or not name:
+            raise ModelingError("variable name must be a non-empty string")
+        if math.isnan(lb) or math.isnan(ub):
+            raise ModelingError(f"variable {name!r}: NaN bound")
+        if lb > ub:
+            raise ModelingError(
+                f"variable {name!r}: lower bound {lb} exceeds upper bound {ub}"
+            )
+        if vtype is VarType.BINARY and (lb < 0 or ub > 1):
+            raise ModelingError(
+                f"binary variable {name!r} must have bounds within [0, 1], "
+                f"got [{lb}, {ub}]"
+            )
+        self.name = name
+        self.lb = float(lb)
+        self.ub = float(ub)
+        self.vtype = vtype
+        self.index = index
+
+    # -- conversion ----------------------------------------------------
+    def to_expr(self) -> "LinExpr":
+        """Return this variable as a one-term :class:`LinExpr`."""
+        return LinExpr({self: 1.0}, 0.0)
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: "ExprLike") -> "LinExpr":
+        return self.to_expr() + other
+
+    def __radd__(self, other: "ExprLike") -> "LinExpr":
+        return self.to_expr() + other
+
+    def __sub__(self, other: "ExprLike") -> "LinExpr":
+        return self.to_expr() - other
+
+    def __rsub__(self, other: "ExprLike") -> "LinExpr":
+        return (-self.to_expr()) + other
+
+    def __mul__(self, other: Number) -> "LinExpr":
+        return self.to_expr() * other
+
+    def __rmul__(self, other: Number) -> "LinExpr":
+        return self.to_expr() * other
+
+    def __truediv__(self, other: Number) -> "LinExpr":
+        return self.to_expr() / other
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({self: -1.0}, 0.0)
+
+    def __pos__(self) -> "LinExpr":
+        return self.to_expr()
+
+    # -- comparisons build constraints ----------------------------------
+    def __le__(self, other: "ExprLike"):
+        return self.to_expr() <= other
+
+    def __ge__(self, other: "ExprLike"):
+        return self.to_expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        # Comparing against another Variable/LinExpr/number builds a
+        # constraint; identity comparison is available via `is`.
+        return self.to_expr() == other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Variable({self.name!r}, lb={self.lb}, ub={self.ub}, "
+            f"vtype={self.vtype.value})"
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+ExprLike = Union[Number, Variable, "LinExpr"]
+
+
+def as_expr(value: ExprLike) -> "LinExpr":
+    """Coerce a number, :class:`Variable` or :class:`LinExpr` to a
+    :class:`LinExpr`.
+
+    Raises
+    ------
+    ModelingError
+        If ``value`` is of an unsupported type.
+    """
+    if isinstance(value, LinExpr):
+        return value
+    if isinstance(value, Variable):
+        return value.to_expr()
+    if isinstance(value, (int, float)):
+        if math.isnan(value):
+            raise ModelingError("NaN constant in expression")
+        return LinExpr({}, float(value))
+    raise ModelingError(f"cannot interpret {value!r} as a linear expression")
+
+
+class LinExpr:
+    """A sparse affine expression ``sum coef_i * var_i + constant``.
+
+    Instances are conceptually immutable: arithmetic returns new
+    expressions.  The in-place helpers :meth:`add_term` and
+    :meth:`add_expr` exist for efficient bulk construction (used by
+    :func:`quicksum` and the model builders) and must only be applied to
+    expressions the caller exclusively owns.
+    """
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(
+        self,
+        terms: Mapping[Variable, float] | None = None,
+        constant: float = 0.0,
+    ) -> None:
+        self.terms: dict[Variable, float] = dict(terms) if terms else {}
+        self.constant = float(constant)
+
+    # -- construction helpers -------------------------------------------
+    def copy(self) -> "LinExpr":
+        """Return an independent copy of this expression."""
+        return LinExpr(self.terms, self.constant)
+
+    def add_term(self, var: Variable, coef: Number) -> "LinExpr":
+        """In-place: add ``coef * var``.  Returns ``self`` for chaining."""
+        if coef:
+            new = self.terms.get(var, 0.0) + coef
+            if new:
+                self.terms[var] = new
+            else:
+                self.terms.pop(var, None)
+        return self
+
+    def add_expr(self, other: ExprLike, scale: Number = 1.0) -> "LinExpr":
+        """In-place: add ``scale * other``.  Returns ``self``."""
+        other = as_expr(other)
+        self.constant += scale * other.constant
+        for var, coef in other.terms.items():
+            self.add_term(var, scale * coef)
+        return self
+
+    # -- introspection ---------------------------------------------------
+    def variables(self) -> list[Variable]:
+        """Variables with a non-zero coefficient."""
+        return list(self.terms)
+
+    def coefficient(self, var: Variable) -> float:
+        """Coefficient of ``var`` (0.0 if absent)."""
+        return self.terms.get(var, 0.0)
+
+    @property
+    def is_constant(self) -> bool:
+        """True when the expression has no variable terms."""
+        return not self.terms
+
+    def evaluate(self, values: Mapping[Variable, float]) -> float:
+        """Evaluate under an assignment of values to variables.
+
+        Raises
+        ------
+        KeyError
+            If a participating variable is missing from ``values``.
+        """
+        return self.constant + sum(
+            coef * values[var] for var, coef in self.terms.items()
+        )
+
+    # -- arithmetic -------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        return self.copy().add_expr(other)
+
+    def __radd__(self, other: ExprLike) -> "LinExpr":
+        return self.copy().add_expr(other)
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        return self.copy().add_expr(other, -1.0)
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        return (-self).add_expr(other)
+
+    def __mul__(self, other: Number) -> "LinExpr":
+        if isinstance(other, (Variable, LinExpr)):
+            raise ModelingError("product of two expressions is non-linear")
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        if math.isnan(other):
+            raise ModelingError("NaN multiplier")
+        return LinExpr(
+            {v: c * other for v, c in self.terms.items() if c * other},
+            self.constant * other,
+        )
+
+    def __rmul__(self, other: Number) -> "LinExpr":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: Number) -> "LinExpr":
+        if isinstance(other, (Variable, LinExpr)):
+            raise ModelingError("division by an expression is non-linear")
+        if other == 0:
+            raise ModelingError("division of expression by zero")
+        return self * (1.0 / other)
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    def __pos__(self) -> "LinExpr":
+        return self.copy()
+
+    # -- comparisons build constraints -------------------------------------
+    def __le__(self, other: ExprLike):
+        from repro.mip.constraint import Constraint, Sense
+
+        return Constraint.from_sides(self, as_expr(other), Sense.LE)
+
+    def __ge__(self, other: ExprLike):
+        from repro.mip.constraint import Constraint, Sense
+
+        return Constraint.from_sides(self, as_expr(other), Sense.GE)
+
+    def __eq__(self, other):  # type: ignore[override]
+        from repro.mip.constraint import Constraint, Sense
+
+        return Constraint.from_sides(self, as_expr(other), Sense.EQ)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{coef:+g}*{var.name}" for var, coef in list(self.terms.items())[:8]
+        ]
+        if len(self.terms) > 8:
+            parts.append(f"... ({len(self.terms)} terms)")
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"
+
+
+def quicksum(items: Iterable[ExprLike]) -> LinExpr:
+    """Sum an iterable of expressions/variables/numbers efficiently.
+
+    Equivalent to ``sum(items, LinExpr())`` but linear-time: terms are
+    accumulated into one mutable dictionary instead of copying partial
+    sums.
+    """
+    acc = LinExpr()
+    for item in items:
+        acc.add_expr(item)
+    return acc

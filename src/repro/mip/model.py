@@ -1,0 +1,355 @@
+"""The :class:`Model` container and standard-form compilation.
+
+A :class:`Model` owns variables, constraints and an objective, and can
+compile itself into the sparse matrix ``StandardForm`` consumed by the
+solver backends (HiGHS via :mod:`scipy.optimize`, or the pure-Python
+branch-and-bound solver in :mod:`repro.mip.bnb`).
+
+The compilation is the only performance-sensitive step of the modeling
+layer; it assembles a single COO triplet list in one pass over all
+constraints and converts it to CSR, so models with hundreds of thousands
+of non-zeros build in well under a second.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ModelingError
+from repro.mip.constraint import Constraint, Sense
+from repro.mip.expr import ExprLike, LinExpr, Variable, VarType, as_expr
+
+__all__ = ["ObjectiveSense", "StandardForm", "Model"]
+
+
+class ObjectiveSense(enum.Enum):
+    """Optimization direction."""
+
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+    @property
+    def sign(self) -> float:
+        """Multiplier converting to an internal minimization problem."""
+        return 1.0 if self is ObjectiveSense.MINIMIZE else -1.0
+
+
+@dataclass
+class StandardForm:
+    """A model compiled to matrices (minimization convention).
+
+    ``minimize  c @ x + c0``
+    subject to ``row_lb <= A @ x <= row_ub`` and ``lb <= x <= ub``,
+    with ``integrality[i] == 1`` marking integral columns.
+
+    The objective stored here is *always* a minimization; ``sense_sign``
+    records the multiplier (``-1`` for an original maximization) so that
+    backends can report objective values in the user's convention:
+    ``user_objective = sense_sign * (c @ x) + c0_user`` — see
+    :meth:`user_objective`.
+    """
+
+    c: np.ndarray
+    c0: float
+    A: sp.csr_matrix
+    row_lb: np.ndarray
+    row_ub: np.ndarray
+    lb: np.ndarray
+    ub: np.ndarray
+    integrality: np.ndarray
+    sense_sign: float
+    variables: list[Variable]
+    constraint_names: list[str]
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return self.A.shape[0]
+
+    def user_objective(self, x: np.ndarray) -> float:
+        """Objective value of ``x`` in the user's original sense."""
+        return self.sense_sign * float(self.c @ x) + self.c0
+
+    def user_bound(self, internal_bound: float) -> float:
+        """Convert an internal (minimization) dual bound to user sense."""
+        return self.sense_sign * internal_bound + self.c0
+
+
+class Model:
+    """A mixed-integer linear program under construction.
+
+    Example
+    -------
+    >>> m = Model("knapsack")
+    >>> x = [m.binary_var(f"x{i}") for i in range(3)]
+    >>> m.add_constr(2*x[0] + 3*x[1] + 4*x[2] <= 5, name="weight")
+    >>> m.set_objective(3*x[0] + 4*x[1] + 5*x[2], ObjectiveSense.MAXIMIZE)
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._vars: list[Variable] = []
+        self._var_names: set[str] = set()
+        self._constraints: list[Constraint] = []
+        self._objective: LinExpr = LinExpr()
+        self._sense: ObjectiveSense = ObjectiveSense.MINIMIZE
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+    def add_var(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        vtype: VarType = VarType.CONTINUOUS,
+    ) -> Variable:
+        """Create and register a new variable.
+
+        Raises
+        ------
+        ModelingError
+            If the name is already taken in this model.
+        """
+        if name in self._var_names:
+            raise ModelingError(f"duplicate variable name {name!r}")
+        var = Variable(name, lb=lb, ub=ub, vtype=vtype, index=len(self._vars))
+        self._vars.append(var)
+        self._var_names.add(name)
+        return var
+
+    def binary_var(self, name: str) -> Variable:
+        """Create a binary variable."""
+        return self.add_var(name, lb=0.0, ub=1.0, vtype=VarType.BINARY)
+
+    def integer_var(
+        self, name: str, lb: float = 0.0, ub: float = math.inf
+    ) -> Variable:
+        """Create an integer variable."""
+        return self.add_var(name, lb=lb, ub=ub, vtype=VarType.INTEGER)
+
+    def continuous_var(
+        self, name: str, lb: float = 0.0, ub: float = math.inf
+    ) -> Variable:
+        """Create a continuous variable."""
+        return self.add_var(name, lb=lb, ub=ub, vtype=VarType.CONTINUOUS)
+
+    @property
+    def variables(self) -> Sequence[Variable]:
+        return tuple(self._vars)
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._vars)
+
+    @property
+    def num_binary_vars(self) -> int:
+        return sum(1 for v in self._vars if v.vtype is VarType.BINARY)
+
+    @property
+    def num_integral_vars(self) -> int:
+        return sum(1 for v in self._vars if v.vtype.is_integral)
+
+    def get_var(self, name: str) -> Variable:
+        """Look up a variable by name (linear scan; for tests/debugging)."""
+        for var in self._vars:
+            if var.name == name:
+                return var
+        raise KeyError(name)
+
+    def fix_var(self, var: Variable, value: float) -> None:
+        """Fix a variable to a value by tightening both bounds."""
+        self._check_owned(var)
+        if value < var.lb - 1e-12 or value > var.ub + 1e-12:
+            raise ModelingError(
+                f"cannot fix {var.name!r} to {value}: outside [{var.lb}, {var.ub}]"
+            )
+        var.lb = var.ub = float(value)
+
+    # ------------------------------------------------------------------
+    # constraints
+    # ------------------------------------------------------------------
+    def add_constr(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint built via expression comparison.
+
+        Trivial constraints (no variables) are checked immediately: if
+        they hold they are dropped, otherwise a :class:`ModelingError` is
+        raised — silently accepting ``3 <= 2`` would make the model
+        infeasible in a hard-to-debug way.
+        """
+        if not isinstance(constraint, Constraint):
+            raise ModelingError(
+                f"expected a Constraint (use <=, >=, ==), got {constraint!r}"
+            )
+        if name:
+            constraint.name = name
+        if constraint.is_trivial:
+            if constraint.trivially_holds():
+                return constraint
+            raise ModelingError(
+                f"trivially infeasible constraint: 0 {constraint.sense.value} "
+                f"{constraint.rhs} ({constraint.name or 'unnamed'})"
+            )
+        for var in constraint.lhs.terms:
+            self._check_owned(var)
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_constrs(
+        self, constraints: Iterable[Constraint], prefix: str = ""
+    ) -> list[Constraint]:
+        """Register several constraints, optionally auto-naming them."""
+        added = []
+        for i, con in enumerate(constraints):
+            added.append(self.add_constr(con, name=f"{prefix}{i}" if prefix else ""))
+        return added
+
+    @property
+    def constraints(self) -> Sequence[Constraint]:
+        return tuple(self._constraints)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    # ------------------------------------------------------------------
+    # objective
+    # ------------------------------------------------------------------
+    def set_objective(
+        self, expr: ExprLike, sense: ObjectiveSense = ObjectiveSense.MINIMIZE
+    ) -> None:
+        """Set the objective expression and direction."""
+        expr = as_expr(expr)
+        for var in expr.terms:
+            self._check_owned(var)
+        self._objective = expr.copy()
+        self._sense = sense
+
+    @property
+    def objective(self) -> LinExpr:
+        return self._objective
+
+    @property
+    def objective_sense(self) -> ObjectiveSense:
+        return self._sense
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def to_standard_form(self) -> StandardForm:
+        """Compile to the matrix form consumed by the solver backends."""
+        n = len(self._vars)
+        c = np.zeros(n)
+        for var, coef in self._objective.terms.items():
+            c[var.index] += coef
+        sign = self._sense.sign
+        c *= sign  # internal minimization
+
+        m = len(self._constraints)
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        data: list[np.ndarray] = []
+        row_lb = np.empty(m)
+        row_ub = np.empty(m)
+        names: list[str] = []
+        for i, con in enumerate(self._constraints):
+            k = len(con.lhs.terms)
+            idx = np.fromiter(
+                (v.index for v in con.lhs.terms), dtype=np.int64, count=k
+            )
+            val = np.fromiter(con.lhs.terms.values(), dtype=np.float64, count=k)
+            rows.append(np.full(k, i, dtype=np.int64))
+            cols.append(idx)
+            data.append(val)
+            if con.sense is Sense.LE:
+                row_lb[i], row_ub[i] = -np.inf, con.rhs
+            elif con.sense is Sense.GE:
+                row_lb[i], row_ub[i] = con.rhs, np.inf
+            else:
+                row_lb[i] = row_ub[i] = con.rhs
+            names.append(con.name)
+
+        if m:
+            A = sp.coo_matrix(
+                (np.concatenate(data), (np.concatenate(rows), np.concatenate(cols))),
+                shape=(m, n),
+            ).tocsr()
+        else:
+            A = sp.csr_matrix((0, n))
+
+        lb = np.fromiter((v.lb for v in self._vars), dtype=np.float64, count=n)
+        ub = np.fromiter((v.ub for v in self._vars), dtype=np.float64, count=n)
+        integrality = np.fromiter(
+            (1 if v.vtype.is_integral else 0 for v in self._vars),
+            dtype=np.uint8,
+            count=n,
+        )
+        return StandardForm(
+            c=c,
+            c0=self._objective.constant,
+            A=A,
+            row_lb=row_lb,
+            row_ub=row_ub,
+            lb=lb,
+            ub=ub,
+            integrality=integrality,
+            sense_sign=sign,
+            variables=list(self._vars),
+            constraint_names=names,
+        )
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def check_assignment(
+        self, values: dict[Variable, float], tol: float = 1e-6
+    ) -> list[Constraint]:
+        """Return the constraints violated by an assignment (for tests)."""
+        violated = []
+        for con in self._constraints:
+            if not con.satisfied_by(values, tol):
+                violated.append(con)
+        for var in self._vars:
+            val = values.get(var)
+            if val is None:
+                continue
+            if val < var.lb - tol or val > var.ub + tol:
+                violated.append(
+                    Constraint(
+                        LinExpr({var: 1.0}), Sense.LE, var.ub, name=f"bounds[{var.name}]"
+                    )
+                )
+        return violated
+
+    def stats(self) -> dict[str, int]:
+        """Model size statistics (used by the evaluation reports)."""
+        nnz = sum(len(c.lhs.terms) for c in self._constraints)
+        return {
+            "variables": self.num_vars,
+            "binary": self.num_binary_vars,
+            "integral": self.num_integral_vars,
+            "constraints": self.num_constraints,
+            "nonzeros": nnz,
+        }
+
+    def _check_owned(self, var: Variable) -> None:
+        idx = var.index
+        if idx < 0 or idx >= len(self._vars) or self._vars[idx] is not var:
+            raise ModelingError(
+                f"variable {var.name!r} does not belong to model {self.name!r}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Model({self.name!r}, vars={self.num_vars}, "
+            f"constrs={self.num_constraints})"
+        )

@@ -1,0 +1,102 @@
+"""CPLEX-LP-format writer for :class:`~repro.mip.model.Model`.
+
+Writing a model to the widely supported LP text format makes it possible
+to inspect the generated Delta-/Sigma-/cSigma-Models by eye and to feed
+them to external solvers.  The paper published its Gurobi model files;
+this writer is the equivalent artifact generator for this reproduction.
+
+Only features used by this library are supported: linear objective and
+constraints, variable bounds, binary/integer sections.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from io import StringIO
+
+from repro.mip.expr import LinExpr
+from repro.mip.model import Model, ObjectiveSense
+
+__all__ = ["write_lp", "write_lp_file"]
+
+_NAME_SANITIZER = re.compile(r"[^A-Za-z0-9_.\[\]]")
+
+
+def _sanitize(name: str) -> str:
+    """Make a variable/constraint name LP-format safe."""
+    clean = _NAME_SANITIZER.sub("_", name)
+    if not clean or clean[0].isdigit() or clean[0] == ".":
+        clean = "v_" + clean
+    return clean
+
+
+def _format_expr(expr: LinExpr, name_of: dict) -> str:
+    """Render the variable terms of an expression (constant excluded)."""
+    if not expr.terms:
+        return "0 " + next(iter(name_of.values()), "x")  # LP needs a term
+    parts: list[str] = []
+    for var, coef in sorted(expr.terms.items(), key=lambda kv: kv[0].index):
+        sign = "-" if coef < 0 else "+"
+        mag = abs(coef)
+        parts.append(f"{sign} {mag:.12g} {name_of[var]}")
+    text = " ".join(parts)
+    return text[2:] if text.startswith("+ ") else text
+
+
+def write_lp(model: Model) -> str:
+    """Serialize a model to a CPLEX-LP-format string."""
+    name_of = {v: _sanitize(v.name) for v in model.variables}
+    if len(set(name_of.values())) != len(name_of):
+        # disambiguate collisions introduced by sanitization
+        seen: dict[str, int] = {}
+        for var in model.variables:
+            base = name_of[var]
+            count = seen.get(base, 0)
+            seen[base] = count + 1
+            if count:
+                name_of[var] = f"{base}__{count}"
+
+    out = StringIO()
+    out.write(f"\\ Model: {model.name}\n")
+    sense = (
+        "Maximize" if model.objective_sense is ObjectiveSense.MAXIMIZE else "Minimize"
+    )
+    out.write(f"{sense}\n obj: {_format_expr(model.objective, name_of)}\n")
+    out.write("Subject To\n")
+    for i, con in enumerate(model.constraints):
+        cname = _sanitize(con.name) if con.name else f"c{i}"
+        op = {"<=": "<=", ">=": ">=", "==": "="}[con.sense.value]
+        out.write(f" {cname}: {_format_expr(con.lhs, name_of)} {op} {con.rhs:.12g}\n")
+
+    out.write("Bounds\n")
+    for var in model.variables:
+        name = name_of[var]
+        lb, ub = var.lb, var.ub
+        if lb == ub:
+            out.write(f" {name} = {lb:.12g}\n")
+        elif math.isinf(lb) and math.isinf(ub):
+            out.write(f" {name} free\n")
+        else:
+            lo = "-inf" if math.isinf(lb) else f"{lb:.12g}"
+            hi = "+inf" if math.isinf(ub) else f"{ub:.12g}"
+            out.write(f" {lo} <= {name} <= {hi}\n")
+
+    binaries = [name_of[v] for v in model.variables if v.vtype.value == "binary"]
+    integers = [name_of[v] for v in model.variables if v.vtype.value == "integer"]
+    if binaries:
+        out.write("Binary\n")
+        for name in binaries:
+            out.write(f" {name}\n")
+    if integers:
+        out.write("General\n")
+        for name in integers:
+            out.write(f" {name}\n")
+    out.write("End\n")
+    return out.getvalue()
+
+
+def write_lp_file(model: Model, path: str) -> None:
+    """Write :func:`write_lp` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(write_lp(model))

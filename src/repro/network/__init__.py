@@ -1,0 +1,51 @@
+"""Substrate networks, virtual-network requests and generators.
+
+The data model follows the paper's notation:
+
+* :class:`SubstrateNetwork` — ``(V_S, E_S, c_S)`` (Table I),
+* :class:`VirtualNetwork` — ``(V_R, E_R, c_R)`` (Table II),
+* :class:`TemporalSpec` / :class:`Request` — ``(t^s, t^e, d)`` (Table VI).
+"""
+
+from repro.network.generators import (
+    fat_tree_substrate,
+    grid_substrate,
+    line_substrate,
+    paper_substrate,
+    random_substrate,
+    ring_substrate,
+)
+from repro.network.request import Request, TemporalSpec, VirtualNetwork
+from repro.network.substrate import SubstrateNetwork
+from repro.network.validation import LintReport, lint_instance
+from repro.network.topologies import (
+    balanced_tree,
+    bipartite_shuffle,
+    chain,
+    full_mesh,
+    ring,
+    star,
+    virtual_cluster,
+)
+
+__all__ = [
+    "SubstrateNetwork",
+    "VirtualNetwork",
+    "TemporalSpec",
+    "Request",
+    "grid_substrate",
+    "paper_substrate",
+    "fat_tree_substrate",
+    "random_substrate",
+    "line_substrate",
+    "ring_substrate",
+    "star",
+    "chain",
+    "ring",
+    "full_mesh",
+    "balanced_tree",
+    "bipartite_shuffle",
+    "virtual_cluster",
+    "LintReport",
+    "lint_instance",
+]

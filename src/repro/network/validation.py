@@ -1,0 +1,140 @@
+"""Instance linting: catch ill-posed TVNEP inputs before solving.
+
+The data classes already reject malformed *values* (negative
+capacities, impossible windows); this module catches ill-posed
+*combinations* that produce legal-but-hopeless instances:
+
+* substrate not strongly connected (distant placements unroutable),
+* a request whose single largest node demand exceeds every substrate
+  node (can never be placed),
+* a fixed mapping that overloads a host even with the request alone,
+* virtual link demand exceeding the substrate's max link capacity
+  (unroutable between distinct hosts even unsplit... splittable flows
+  can still spread, so this is a warning, not an error),
+* request windows extending past a declared horizon.
+
+Findings are split into ``errors`` (the instance cannot possibly
+embed the flagged request) and ``warnings`` (suspicious but not
+disqualifying).  Exposed on the CLI as ``python -m repro check``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.network.request import Request
+from repro.network.substrate import SubstrateNetwork
+
+__all__ = ["LintReport", "lint_instance"]
+
+
+@dataclass
+class LintReport:
+    """Linting outcome; ``ok`` means no errors (warnings may remain)."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def render(self) -> str:
+        lines = []
+        for message in self.errors:
+            lines.append(f"ERROR: {message}")
+        for message in self.warnings:
+            lines.append(f"warning: {message}")
+        if not lines:
+            lines.append("instance looks sound")
+        return "\n".join(lines)
+
+
+def lint_instance(
+    substrate: SubstrateNetwork,
+    requests: Sequence[Request],
+    node_mappings: Mapping[str, Mapping] | None = None,
+    time_horizon: float | None = None,
+) -> LintReport:
+    """Check an instance for legal-but-hopeless configurations."""
+    report = LintReport()
+    node_mappings = node_mappings or {}
+
+    # -- substrate-level ---------------------------------------------------
+    if substrate.num_nodes == 0:
+        report.errors.append("substrate has no nodes")
+        return report
+    max_node_cap = max(substrate.node_capacity(n) for n in substrate.nodes)
+    max_link_cap = max(
+        (substrate.link_capacity(l) for l in substrate.links), default=0.0
+    )
+    if substrate.num_nodes > 1 and not substrate.is_strongly_connected():
+        report.warnings.append(
+            "substrate is not strongly connected; requests mapped across "
+            "components are unroutable"
+        )
+
+    names = [r.name for r in requests]
+    duplicates = {n for n in names if names.count(n) > 1}
+    if duplicates:
+        report.errors.append(f"duplicate request names: {sorted(duplicates)}")
+
+    for request in requests:
+        name = request.name
+        vnet = request.vnet
+
+        # -- per-request placeability ---------------------------------
+        for v in vnet.nodes:
+            if vnet.node_demand(v) > max_node_cap + 1e-9:
+                report.errors.append(
+                    f"{name}: node {v!r} demands {vnet.node_demand(v):g} but "
+                    f"the largest substrate node offers {max_node_cap:g}"
+                )
+        if vnet.total_node_demand() > substrate.total_node_capacity() + 1e-9:
+            report.errors.append(
+                f"{name}: total node demand {vnet.total_node_demand():g} "
+                f"exceeds the whole substrate "
+                f"({substrate.total_node_capacity():g})"
+            )
+        for lv in vnet.links:
+            if vnet.link_demand(lv) > max_link_cap + 1e-9:
+                report.warnings.append(
+                    f"{name}: link {lv} demands {vnet.link_demand(lv):g}, more "
+                    f"than any single substrate link ({max_link_cap:g}); it "
+                    "can only be served split or co-located"
+                )
+
+        # -- temporal ----------------------------------------------------
+        if time_horizon is not None and request.latest_end > time_horizon + 1e-9:
+            report.errors.append(
+                f"{name}: window ends at {request.latest_end:g}, past the "
+                f"horizon {time_horizon:g}"
+            )
+
+        # -- fixed mapping -------------------------------------------------
+        mapping = node_mappings.get(name)
+        if mapping is None:
+            continue
+        missing = [v for v in vnet.nodes if v not in mapping]
+        if missing:
+            report.errors.append(f"{name}: mapping misses virtual nodes {missing}")
+            continue
+        load: dict = {}
+        for v, host in mapping.items():
+            if not substrate.has_node(host):
+                report.errors.append(
+                    f"{name}: mapping sends {v!r} to unknown node {host!r}"
+                )
+                continue
+            load[host] = load.get(host, 0.0) + vnet.node_demand(v)
+        for host, amount in load.items():
+            if substrate.has_node(host) and amount > substrate.node_capacity(host) + 1e-9:
+                # the paper's random-mapping methodology produces these
+                # on purpose; the solvers simply reject such requests
+                report.warnings.append(
+                    f"{name}: fixed mapping overloads {host!r} "
+                    f"({amount:g} > {substrate.node_capacity(host):g}) even "
+                    "in isolation — the request will always be rejected"
+                )
+    return report

@@ -1,0 +1,22 @@
+"""Continuous-time machinery: intervals, event spaces, dependency graphs."""
+
+from repro.temporal.dependency import DepNode, PointKind, TemporalDependencyGraph
+from repro.temporal.events import EventSpace, Timeline
+from repro.temporal.interval import (
+    Interval,
+    critical_points,
+    merge_intervals,
+    total_length,
+)
+
+__all__ = [
+    "Interval",
+    "merge_intervals",
+    "total_length",
+    "critical_points",
+    "EventSpace",
+    "Timeline",
+    "TemporalDependencyGraph",
+    "DepNode",
+    "PointKind",
+]

@@ -1,0 +1,307 @@
+"""The temporal dependency graph ``G_dep`` (Sec. IV-C).
+
+Nodes are the abstract start/end points of every request; a directed
+edge ``(v, w)`` exists iff ``v`` must occur strictly before ``w`` in
+*every* feasible schedule, i.e. ``latest(v) < earliest(w)``.  Edge
+weights are 1 when the edge's source is a *start* node, 0 otherwise —
+so path weights count how many start events are forced to occur before
+(after) a given node, which is exactly what the event-range cuts of
+Table XIV need in the compact model (where only starts occupy their own
+event point).
+
+Two distance computations are provided: a topological-order dynamic
+program (used by the cuts) and the paper's Floyd-Warshall-on-negated-
+weights formulation (kept as a cross-check; the tests assert they
+agree).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.network.request import Request
+
+__all__ = ["PointKind", "DepNode", "TemporalDependencyGraph"]
+
+
+class PointKind(enum.Enum):
+    """Whether a dependency node is a request's start or its end."""
+
+    START = "start"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class DepNode:
+    """A node of ``V_dep = R x {start, end}``."""
+
+    request: str  # request name
+    kind: PointKind
+
+    @property
+    def is_start(self) -> bool:
+        return self.kind is PointKind.START
+
+    def __str__(self) -> str:
+        return f"{self.request}.{self.kind.value}"
+
+
+class TemporalDependencyGraph:
+    """``G_dep(R)`` with its longest-distance machinery.
+
+    Parameters
+    ----------
+    requests:
+        The request set; names must be unique.
+    include_intra_request_edges:
+        Also add the edge ``(R.start, R.end)`` for every request.  The
+        paper's edge rule ``latest(v) < earliest(w)`` only generates it
+        when the flexibility is smaller than the duration, but a start
+        always strictly precedes its own end (``d_R > 0``), so the edge
+        is temporally valid in every schedule and strengthens the cuts.
+        Enabled by default; the cut-validity property tests cover both
+        settings.
+    epsilon:
+        Minimum gap for a precedence edge: ``(v, w)`` requires
+        ``latest(v) < earliest(w) - epsilon``.  Schedules pinned from
+        solver output carry ~1e-9-scale noise; without the slack, two
+        *equal* time points can read as strictly ordered and produce
+        cuts that are valid for the noisy windows but infeasible for
+        the intended (tied) schedule.  Dropping near-tie edges only
+        weakens the cuts, so any ``epsilon >= 0`` is safe.
+    """
+
+    def __init__(
+        self,
+        requests: Sequence[Request],
+        include_intra_request_edges: bool = True,
+        epsilon: float = 1e-6,
+    ) -> None:
+        names = [r.name for r in requests]
+        if len(set(names)) != len(names):
+            raise ValidationError("request names must be unique")
+        if epsilon < 0:
+            raise ValidationError("dependency epsilon must be >= 0")
+        self.epsilon = float(epsilon)
+        self.requests = list(requests)
+        self._by_name = {r.name: r for r in requests}
+        self.nodes: list[DepNode] = []
+        for r in requests:
+            self.nodes.append(DepNode(r.name, PointKind.START))
+            self.nodes.append(DepNode(r.name, PointKind.END))
+        self._index = {node: i for i, node in enumerate(self.nodes)}
+
+        n = len(self.nodes)
+        self._adj: list[list[int]] = [[] for _ in range(n)]
+        self._weight: dict[tuple[int, int], int] = {}
+        for i, v in enumerate(self.nodes):
+            for j, w in enumerate(self.nodes):
+                if i == j:
+                    continue
+                intra = (
+                    include_intra_request_edges
+                    and v.request == w.request
+                    and v.is_start
+                    and w.kind is PointKind.END
+                )
+                if intra or self.latest(v) < self.earliest(w) - self.epsilon:
+                    self._adj[i].append(j)
+                    self._weight[(i, j)] = 1 if v.is_start else 0
+
+        self._topo = self._topological_order()
+        self._dist = self._longest_distances_dp()
+
+    # ------------------------------------------------------------------
+    # the paper's earliest/latest functions
+    # ------------------------------------------------------------------
+    def earliest(self, v: DepNode) -> float:
+        """Earliest possible time of the point ``v``."""
+        r = self._by_name[v.request]
+        return r.earliest_start if v.is_start else r.earliest_start + r.duration
+
+    def latest(self, v: DepNode) -> float:
+        """Latest possible time of the point ``v``.
+
+        Clamped to be no earlier than :meth:`earliest` — a consistent
+        spec guarantees that mathematically, but float cancellation in
+        ``t^e - d`` can land an ulp below ``t^s`` at zero flexibility,
+        which would create spurious (even cyclic) dependency edges.
+        """
+        r = self._by_name[v.request]
+        raw = r.latest_end - r.duration if v.is_start else r.latest_end
+        return max(raw, self.earliest(v))
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def node(self, request_name: str, kind: PointKind) -> DepNode:
+        node = DepNode(request_name, kind)
+        if node not in self._index:
+            raise ValidationError(f"unknown dependency node {node}")
+        return node
+
+    def edges(self) -> list[tuple[DepNode, DepNode, int]]:
+        """All edges with their weights."""
+        out = []
+        for i, targets in enumerate(self._adj):
+            for j in targets:
+                out.append((self.nodes[i], self.nodes[j], self._weight[(i, j)]))
+        return out
+
+    def has_edge(self, v: DepNode, w: DepNode) -> bool:
+        return (self._index[v], self._index[w]) in self._weight
+
+    def _topological_order(self) -> list[int]:
+        n = len(self.nodes)
+        indegree = [0] * n
+        for targets in self._adj:
+            for j in targets:
+                indegree[j] += 1
+        stack = [i for i in range(n) if indegree[i] == 0]
+        order: list[int] = []
+        while stack:
+            i = stack.pop()
+            order.append(i)
+            for j in self._adj[i]:
+                indegree[j] -= 1
+                if indegree[j] == 0:
+                    stack.append(j)
+        if len(order) != n:
+            # cannot happen: edges respect strict time order
+            raise ValidationError("temporal dependency graph has a cycle")
+        return order
+
+    # ------------------------------------------------------------------
+    # distances
+    # ------------------------------------------------------------------
+    def _longest_distances_dp(self) -> np.ndarray:
+        """All-pairs longest path weights via one DP pass per source.
+
+        ``dist[i, j]`` is the maximum path weight from ``i`` to ``j``;
+        0 when ``j`` is unreachable from ``i`` (the paper's convention).
+        """
+        n = len(self.nodes)
+        dist = np.zeros((n, n), dtype=np.int64)
+        reachable = np.zeros((n, n), dtype=bool)
+        for src in range(n):
+            best = np.full(n, np.iinfo(np.int64).min, dtype=np.int64)
+            best[src] = 0
+            for i in self._topo:
+                if best[i] == np.iinfo(np.int64).min:
+                    continue
+                for j in self._adj[i]:
+                    cand = best[i] + self._weight[(i, j)]
+                    if cand > best[j]:
+                        best[j] = cand
+            mask = best != np.iinfo(np.int64).min
+            mask[src] = False
+            dist[src, mask] = best[mask]
+            reachable[src, mask] = True
+        self._reachable = reachable
+        return dist
+
+    def longest_distances_floyd_warshall(self) -> np.ndarray:
+        """The paper's formulation: negate weights, run Floyd-Warshall,
+        negate back.  Quadratic memory, cubic time — retained as an
+        independent cross-check of :meth:`dist_max`.
+        """
+        n = len(self.nodes)
+        inf = float("inf")
+        d = np.full((n, n), inf)
+        for (i, j), w in self._weight.items():
+            d[i, j] = min(d[i, j], -float(w))
+        for k in range(n):
+            d = np.minimum(d, d[:, k : k + 1] + d[k : k + 1, :])
+        out = np.zeros((n, n), dtype=np.int64)
+        finite = np.isfinite(d)
+        np.fill_diagonal(finite, False)
+        out[finite] = (-d[finite]).astype(np.int64)
+        return out
+
+    def dist_max(self, v: DepNode, w: DepNode) -> int:
+        """``dist_max(v, w)`` — maximum path weight, 0 if unreachable."""
+        return int(self._dist[self._index[v], self._index[w]])
+
+    def reaches(self, v: DepNode, w: DepNode) -> bool:
+        """Whether ``w`` is reachable from ``v`` by a non-empty path."""
+        return bool(self._reachable[self._index[v], self._index[w]])
+
+    # ------------------------------------------------------------------
+    # event-range bounds (observations 1 & 2 of Sec. IV-C)
+    # ------------------------------------------------------------------
+    def start_ancestors(self, v: DepNode) -> int:
+        """Number of *start* nodes that must occur strictly before ``v``."""
+        i = self._index[v]
+        count = 0
+        for j, node in enumerate(self.nodes):
+            if node.is_start and self._reachable[j, i]:
+                count += 1
+        return count
+
+    def start_descendants(self, v: DepNode) -> int:
+        """Number of *start* nodes that must occur strictly after ``v``."""
+        i = self._index[v]
+        count = 0
+        for j, node in enumerate(self.nodes):
+            if node.is_start and self._reachable[i, j]:
+                count += 1
+        return count
+
+    def leading_exclusion(self, v: DepNode) -> int:
+        """``dist^+_max(v)``: number of leading events ``v`` cannot use.
+
+        If ``n`` start points must precede ``v`` and each start occupies
+        its own event (both in the compact and the full layout), ``v``
+        cannot be mapped on the first ``n`` events.
+        """
+        return self.start_ancestors(v)
+
+    def trailing_exclusion(self, v: DepNode) -> int:
+        """``dist^-_max(v)``: number of trailing events ``v`` cannot use.
+
+        If ``v`` reaches ``n`` start points they all occur after it;
+        additionally a start's own end must come after it, consuming one
+        more event slot (observation 2).
+        """
+        n = self.start_descendants(v)
+        return n + 1 if v.is_start else n
+
+    # ------------------------------------------------------------------
+    # exclusions for the full (2|R|-event, bijective-ends) layout
+    # ------------------------------------------------------------------
+    def ancestors(self, v: DepNode) -> int:
+        """Number of dependency nodes (of any kind) strictly before ``v``."""
+        i = self._index[v]
+        return int(self._reachable[:, i].sum())
+
+    def descendants(self, v: DepNode) -> int:
+        """Number of dependency nodes (of any kind) strictly after ``v``."""
+        i = self._index[v]
+        return int(self._reachable[i, :].sum())
+
+    def leading_exclusion_full(self, v: DepNode) -> int:
+        """Leading events ``v`` cannot use in the Delta-/Sigma layout.
+
+        There both starts *and* ends are bijectively assigned, so every
+        ancestor point consumes its own event slot.
+        """
+        return self.ancestors(v)
+
+    def trailing_exclusion_full(self, v: DepNode) -> int:
+        """Trailing events ``v`` cannot use in the Delta-/Sigma layout.
+
+        Every descendant consumes a slot; a start whose own end is not
+        already reachable (possible when intra-request edges are
+        disabled) still must leave one slot for it.
+        """
+        n = self.descendants(v)
+        if v.is_start:
+            own_end = DepNode(v.request, PointKind.END)
+            if not self._reachable[self._index[v], self._index[own_end]]:
+                n += 1
+        return n

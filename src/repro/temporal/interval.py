@@ -1,0 +1,119 @@
+"""Closed-interval algebra on the real line.
+
+The TVNEP's feasibility condition (Definition 2.1) quantifies over all
+points in time; in practice everything reduces to manipulating closed
+intervals ``[lo, hi]`` and open activity intervals ``(t+, t-)``.  This
+module provides the small algebra the feasibility verifier and event
+machinery build on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.exceptions import ValidationError
+
+__all__ = ["Interval", "merge_intervals", "total_length", "critical_points"]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` with ``lo <= hi``."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ValidationError("interval bounds must not be NaN")
+        if self.lo > self.hi:
+            raise ValidationError(f"empty interval [{self.lo}, {self.hi}]")
+
+    @property
+    def length(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.lo + self.hi)
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True for a single point ``[t, t]``."""
+        return self.lo == self.hi
+
+    def contains(self, t: float, tol: float = 0.0) -> bool:
+        """Whether ``t`` lies in the closed interval (with tolerance)."""
+        return self.lo - tol <= t <= self.hi + tol
+
+    def contains_interval(self, other: "Interval", tol: float = 0.0) -> bool:
+        return other.lo >= self.lo - tol and other.hi <= self.hi + tol
+
+    def overlaps(self, other: "Interval", strict: bool = False) -> bool:
+        """Whether the intervals intersect.
+
+        With ``strict=True``, touching at a single endpoint does not
+        count — this matches the paper's *open* activity intervals
+        ``(t+, t-)``: a request ending exactly when another starts does
+        not contend for resources.
+        """
+        if strict:
+            return self.lo < other.hi and other.lo < self.hi
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """The overlap interval, or ``None`` when disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def union_hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both (not a set union)."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def shifted(self, delta: float) -> "Interval":
+        return Interval(self.lo + delta, self.hi + delta)
+
+    def clamp(self, t: float) -> float:
+        """Nearest point of the interval to ``t``."""
+        return min(max(t, self.lo), self.hi)
+
+    def __str__(self) -> str:
+        return f"[{self.lo:g}, {self.hi:g}]"
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
+    """Merge overlapping/touching intervals into a disjoint sorted list."""
+    ordered = sorted(intervals, key=lambda iv: (iv.lo, iv.hi))
+    merged: list[Interval] = []
+    for iv in ordered:
+        if merged and iv.lo <= merged[-1].hi:
+            if iv.hi > merged[-1].hi:
+                merged[-1] = Interval(merged[-1].lo, iv.hi)
+        else:
+            merged.append(iv)
+    return merged
+
+
+def total_length(intervals: Iterable[Interval]) -> float:
+    """Total measure of a set of (possibly overlapping) intervals."""
+    return sum(iv.length for iv in merge_intervals(intervals))
+
+
+def critical_points(intervals: Iterable[Interval]) -> list[float]:
+    """Sorted unique endpoints of a set of intervals.
+
+    Resource allocations of a TVNEP solution are piecewise constant
+    between consecutive critical points, so checking capacity at one
+    interior point per gap suffices (the event-point insight of
+    Sec. III-A).
+    """
+    points: set[float] = set()
+    for iv in intervals:
+        points.add(iv.lo)
+        points.add(iv.hi)
+    return sorted(points)

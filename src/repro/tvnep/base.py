@@ -1,0 +1,603 @@
+"""Shared scaffolding of the continuous-time TVNEP formulations.
+
+:class:`TemporalModelBase` implements everything the Delta-, Sigma- and
+cSigma-Models have in common:
+
+* per-request embedding variables and constraints (Sec. II, via
+  :class:`~repro.vnep.embedding_vars.EmbeddingVariables`),
+* the abstract event machinery: start/end event-mapping variables
+  ``chi^+ / chi^-`` with their assignment constraints (Table VII for the
+  full layout, Table XI for the compact one),
+* temporal dependency-graph event ranges (Constraint 19) — realized by
+  *not creating* variables outside a point's admissible event range,
+* pairwise precedence cuts (Constraint 20) and start-before-end
+  ordering cuts,
+* the time coupling of Table XIII (event times, request start/end
+  times, duration and window constraints), and
+* solution extraction into :class:`~repro.tvnep.solution.TemporalSolution`.
+
+Subclasses contribute only the *state feasibility* machinery (the big-M
+state changes of the Delta-Model, or the explicit state allocations of
+the Sigma-/cSigma-Models) by overriding :meth:`_build_states`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import ModelingError, ValidationError
+from repro.mip.expr import LinExpr, Variable, quicksum
+from repro.mip.model import Model, ObjectiveSense
+from repro.mip.solution import Solution
+from repro.network.request import Request
+from repro.network.substrate import SubstrateNetwork
+from repro.temporal.dependency import (
+    DepNode,
+    PointKind,
+    TemporalDependencyGraph,
+)
+from repro.temporal.events import EventSpace
+from repro.tvnep.solution import ScheduledRequest, TemporalSolution
+from repro.vnep.embedding_vars import EmbeddingVariables, NodeMapping
+
+__all__ = ["ModelOptions", "TemporalModelBase", "ActivityStatus"]
+
+
+@dataclass(frozen=True)
+class ModelOptions:
+    """Formulation switches (all strengthening features default on).
+
+    Attributes
+    ----------
+    use_dependency_cuts:
+        Event-range restriction from the temporal dependency graph
+        (Constraint 19).  Implemented by only creating event-mapping
+        variables inside a point's admissible range.
+    use_pairwise_cuts:
+        Precedence cuts between dependent points (Constraint 20).
+    use_ordering_cuts:
+        ``end-assignment prefix <= start-assignment prefix`` per request
+        — valid in every integral solution, strengthens relaxations.
+    use_state_reduction:
+        Sigma-/cSigma-Models only: skip state-allocation variables for
+        (request, state) pairs whose activity is decided a priori by the
+        event ranges, folding definite allocations straight into the
+        capacity constraints (the presolve routine of Sec. IV-C).
+    include_intra_request_edges:
+        Add ``start -> end`` dependency edges within each request (see
+        :class:`~repro.temporal.dependency.TemporalDependencyGraph`).
+    time_horizon:
+        ``T``; defaults to the maximum ``t^e`` over all requests.
+    """
+
+    use_dependency_cuts: bool = True
+    use_pairwise_cuts: bool = True
+    use_ordering_cuts: bool = True
+    use_state_reduction: bool = True
+    include_intra_request_edges: bool = True
+    time_horizon: float | None = None
+
+    @classmethod
+    def plain(cls) -> "ModelOptions":
+        """All strengthening features off — the paper's baseline models."""
+        return cls(
+            use_dependency_cuts=False,
+            use_pairwise_cuts=False,
+            use_ordering_cuts=False,
+            use_state_reduction=False,
+            include_intra_request_edges=False,
+        )
+
+
+class ActivityStatus:
+    """A-priori activity of a request at a state: one of the constants."""
+
+    ACTIVE = "active"
+    INACTIVE = "inactive"
+    UNDECIDED = "undecided"
+
+
+class TemporalModelBase:
+    """Common machinery of all continuous-time TVNEP formulations.
+
+    Parameters
+    ----------
+    substrate, requests:
+        The problem instance.
+    fixed_mappings:
+        Optional per-request fixed node mappings
+        (``{request name: {virtual node: substrate node}}``) — the
+        evaluation methodology of Sec. VI-A.
+    force_embedded / force_rejected:
+        Request names whose ``x_R`` is pinned (greedy Constraints 24/25
+        and the fixed-set objectives).
+    options:
+        Formulation switches; subclass constructors choose suitable
+        defaults.
+    """
+
+    #: ``"compact"`` (|R|+1 events) or ``"full"`` (2|R| events)
+    layout: str = "full"
+    #: human-readable formulation name
+    formulation_name: str = "base"
+    #: whether requests get the static (time-invariant) ``x_E`` flows;
+    #: the re-routing variant builds per-state flows instead
+    build_static_link_flows: bool = True
+
+    def __init__(
+        self,
+        substrate: SubstrateNetwork,
+        requests: Sequence[Request],
+        fixed_mappings: Mapping[str, NodeMapping] | None = None,
+        force_embedded: Sequence[str] = (),
+        force_rejected: Sequence[str] = (),
+        options: ModelOptions | None = None,
+    ) -> None:
+        names = [r.name for r in requests]
+        if len(set(names)) != len(names):
+            raise ValidationError("request names must be unique")
+        if not requests:
+            raise ValidationError("TVNEP needs at least one request")
+        unknown = (set(force_embedded) | set(force_rejected)) - set(names)
+        if unknown:
+            raise ValidationError(f"forced requests not in instance: {unknown}")
+
+        self.substrate = substrate
+        self.requests = list(requests)
+        self.options = options or ModelOptions()
+        self.model = Model(self.formulation_name)
+
+        horizon = self.options.time_horizon
+        if horizon is None:
+            horizon = max(r.latest_end for r in requests)
+        if horizon < max(r.latest_end for r in requests) - 1e-9:
+            raise ValidationError(
+                "time horizon smaller than the latest request end"
+            )
+        self.T = float(horizon)
+
+        self.events = EventSpace(len(requests), compact=self.layout == "compact")
+        self.dep_graph = TemporalDependencyGraph(
+            requests,
+            include_intra_request_edges=self.options.include_intra_request_edges,
+        )
+
+        # -- embedding variables ----------------------------------------
+        fixed_mappings = fixed_mappings or {}
+        self.embeddings: dict[str, EmbeddingVariables] = {}
+        for request in self.requests:
+            self.embeddings[request.name] = EmbeddingVariables(
+                self.model,
+                substrate,
+                request,
+                fixed_mapping=fixed_mappings.get(request.name),
+                force_embedded=request.name in force_embedded,
+                force_rejected=request.name in force_rejected,
+                build_link_flows=self.build_static_link_flows,
+            )
+
+        # -- event machinery ----------------------------------------------
+        self._event_ranges = self._compute_event_ranges()
+        self._build_event_variables()
+        self._build_event_assignment_constraints()
+        if self.options.use_ordering_cuts:
+            self._build_ordering_cuts()
+        if self.options.use_pairwise_cuts:
+            self._build_pairwise_cuts()
+
+        # -- time coupling --------------------------------------------------
+        self._build_time_variables()
+        self._build_time_coupling()
+
+        # -- state feasibility (subclass specific) ---------------------------
+        self._activity = self._compute_activity_table()
+        self._build_states()
+
+        # default objective
+        self.set_access_control_objective()
+
+    # ==================================================================
+    # event ranges (Constraint 19)
+    # ==================================================================
+    def _compute_event_ranges(self) -> dict[tuple[str, PointKind], range]:
+        """Admissible event range per (request, start/end) point."""
+        ranges: dict[tuple[str, PointKind], range] = {}
+        compact = self.layout == "compact"
+        base_start = self.events.start_events
+        base_end = self.events.end_events
+        for request in self.requests:
+            for kind, base in ((PointKind.START, base_start), (PointKind.END, base_end)):
+                lo, hi = base.start, base.stop - 1
+                if self.options.use_dependency_cuts:
+                    node = self.dep_graph.node(request.name, kind)
+                    if compact:
+                        lead = self.dep_graph.leading_exclusion(node)
+                        trail = self.dep_graph.trailing_exclusion(node)
+                        lo = max(lo, lead + 1)
+                        hi = min(hi, self.events.num_events - trail)
+                    else:
+                        lead = self.dep_graph.leading_exclusion_full(node)
+                        trail = self.dep_graph.trailing_exclusion_full(node)
+                        lo = max(lo, lead + 1)
+                        hi = min(hi, self.events.num_events - trail)
+                if lo > hi:
+                    raise ModelingError(
+                        f"{request.name}.{kind.value}: empty event range "
+                        f"[{lo}, {hi}] — dependency cuts prove infeasibility"
+                    )
+                ranges[(request.name, kind)] = range(lo, hi + 1)
+        return ranges
+
+    def event_range(self, request_name: str, kind: PointKind) -> range:
+        """Admissible events for a request's start or end point."""
+        return self._event_ranges[(request_name, kind)]
+
+    # ==================================================================
+    # event variables and assignment constraints
+    # ==================================================================
+    def _build_event_variables(self) -> None:
+        #: ``chi^+[(request, event)]`` / ``chi^-[(request, event)]``
+        self.chi_start: dict[tuple[str, int], Variable] = {}
+        self.chi_end: dict[tuple[str, int], Variable] = {}
+        for request in self.requests:
+            name = request.name
+            for i in self.event_range(name, PointKind.START):
+                self.chi_start[(name, i)] = self.model.binary_var(
+                    f"chi+[{name}][e{i}]"
+                )
+            for i in self.event_range(name, PointKind.END):
+                self.chi_end[(name, i)] = self.model.binary_var(
+                    f"chi-[{name}][e{i}]"
+                )
+
+    def _build_event_assignment_constraints(self) -> None:
+        # each point maps to exactly one admissible event
+        for request in self.requests:
+            name = request.name
+            self.model.add_constr(
+                quicksum(
+                    self.chi_start[(name, i)]
+                    for i in self.event_range(name, PointKind.START)
+                )
+                == 1,
+                name=f"assign+[{name}]",
+            )
+            self.model.add_constr(
+                quicksum(
+                    self.chi_end[(name, i)]
+                    for i in self.event_range(name, PointKind.END)
+                )
+                == 1,
+                name=f"assign-[{name}]",
+            )
+        # event-capacity side
+        if self.layout == "compact":
+            # Table XI (12): each of e_1..e_|R| hosts exactly one start
+            for i in self.events.start_events:
+                hosted = quicksum(
+                    self.chi_start[(r.name, i)]
+                    for r in self.requests
+                    if (r.name, i) in self.chi_start
+                )
+                self.model.add_constr(hosted == 1, name=f"event+[e{i}]")
+        else:
+            # full layout: starts and ends jointly bijective onto events
+            for i in self.events.events:
+                hosted = LinExpr()
+                for r in self.requests:
+                    var = self.chi_start.get((r.name, i))
+                    if var is not None:
+                        hosted.add_term(var, 1.0)
+                    var = self.chi_end.get((r.name, i))
+                    if var is not None:
+                        hosted.add_term(var, 1.0)
+                self.model.add_constr(hosted == 1, name=f"event[e{i}]")
+
+    # -- prefix helpers ---------------------------------------------------
+    def start_prefix(self, request_name: str, event_index: int) -> LinExpr:
+        """``sum_{j <= i} chi^+(e_j)`` over the admissible range."""
+        expr = LinExpr()
+        for i in self.event_range(request_name, PointKind.START):
+            if i <= event_index:
+                expr.add_term(self.chi_start[(request_name, i)], 1.0)
+        return expr
+
+    def end_prefix(self, request_name: str, event_index: int) -> LinExpr:
+        """``sum_{j <= i} chi^-(e_j)`` over the admissible range."""
+        expr = LinExpr()
+        for i in self.event_range(request_name, PointKind.END):
+            if i <= event_index:
+                expr.add_term(self.chi_end[(request_name, i)], 1.0)
+        return expr
+
+    def start_suffix(self, request_name: str, event_index: int) -> LinExpr:
+        """``sum_{j >= i} chi^+(e_j)`` over the admissible range."""
+        expr = LinExpr()
+        for i in self.event_range(request_name, PointKind.START):
+            if i >= event_index:
+                expr.add_term(self.chi_start[(request_name, i)], 1.0)
+        return expr
+
+    def end_suffix(self, request_name: str, event_index: int) -> LinExpr:
+        """``sum_{j >= i} chi^-(e_j)`` over the admissible range."""
+        expr = LinExpr()
+        for i in self.event_range(request_name, PointKind.END):
+            if i >= event_index:
+                expr.add_term(self.chi_end[(request_name, i)], 1.0)
+        return expr
+
+    def activity_expr(self, request_name: str, state_index: int) -> LinExpr:
+        """``Sigma(R, s_i)`` — 1 iff started by ``e_i`` and not yet ended."""
+        return self.start_prefix(request_name, state_index) - self.end_prefix(
+            request_name, state_index
+        )
+
+    # ==================================================================
+    # cuts
+    # ==================================================================
+    def _build_ordering_cuts(self) -> None:
+        """Start-before-end prefix cuts (valid for every integral solution)."""
+        for request in self.requests:
+            name = request.name
+            for i in self.event_range(name, PointKind.END):
+                lhs = self.end_prefix(name, i)
+                rhs = self.start_prefix(name, i - 1)
+                if not lhs.terms:
+                    continue
+                self.model.add_constr(lhs <= rhs, name=f"order[{name}][e{i}]")
+
+    def _build_pairwise_cuts(self) -> None:
+        """Constraint (20): precedence distances between dependent points."""
+        for v in self.dep_graph.nodes:
+            for w in self.dep_graph.nodes:
+                if v is w or not self.dep_graph.reaches(v, w):
+                    continue
+                d = self.dep_graph.dist_max(v, w)
+                if d <= 0:
+                    continue
+                w_range = self.event_range(w.request, w.kind)
+                v_range = self.event_range(v.request, v.kind)
+                for i in w_range:
+                    lhs = self._point_prefix(w, i)
+                    rhs = self._point_prefix(v, i - d)
+                    # vacuous when w cannot yet be assigned, or trivially
+                    # satisfied when v is certainly assigned by i - d
+                    if not lhs.terms:
+                        continue
+                    if i - d >= v_range.stop - 1:
+                        continue
+                    self.model.add_constr(
+                        lhs <= rhs, name=f"prec[{v}][{w}][e{i}]"
+                    )
+
+    def _point_prefix(self, node: DepNode, event_index: int) -> LinExpr:
+        if node.is_start:
+            return self.start_prefix(node.request, event_index)
+        return self.end_prefix(node.request, event_index)
+
+    # ==================================================================
+    # time coupling (Table XIII)
+    # ==================================================================
+    def _build_time_variables(self) -> None:
+        self.t_event: dict[int, Variable] = {
+            i: self.model.continuous_var(f"t[e{i}]", lb=0.0, ub=self.T)
+            for i in self.events.events
+        }
+        self.t_start: dict[str, Variable] = {}
+        self.t_end: dict[str, Variable] = {}
+        for request in self.requests:
+            name = request.name
+            # guard against float cancellation at zero flexibility:
+            # t^e - d may land an ulp below t^s (and t^s + d above t^e)
+            start_ub = max(request.earliest_start, request.latest_end - request.duration)
+            end_lb = min(request.latest_end, request.earliest_start + request.duration)
+            self.t_start[name] = self.model.continuous_var(
+                f"t+[{name}]",
+                lb=request.earliest_start,
+                ub=start_ub,
+            )
+            self.t_end[name] = self.model.continuous_var(
+                f"t-[{name}]",
+                lb=end_lb,
+                ub=request.latest_end,
+            )
+            # Constraint (18): embedded exactly for the duration
+            self.model.add_constr(
+                self.t_end[name] - self.t_start[name] == request.duration,
+                name=f"duration[{name}]",
+            )
+
+    def _build_time_coupling(self) -> None:
+        # Constraint (13): weakly monotone event times
+        for i in self.events.events:
+            if i + 1 in self.t_event:
+                self.model.add_constr(
+                    self.t_event[i] <= self.t_event[i + 1], name=f"mono[e{i}]"
+                )
+        T = self.T
+        for request in self.requests:
+            name = request.name
+            start_range = self.event_range(name, PointKind.START)
+            # (14)/(15): t+ pinned to its event's time
+            for i in start_range:
+                prefix = self.start_prefix(name, i)
+                self.model.add_constr(
+                    self.t_start[name]
+                    <= self.t_event[i] + (1 - prefix) * T,
+                    name=f"t+ub[{name}][e{i}]",
+                )
+                suffix = self.start_suffix(name, i)
+                self.model.add_constr(
+                    self.t_start[name]
+                    >= self.t_event[i] - (1 - suffix) * T,
+                    name=f"t+lb[{name}][e{i}]",
+                )
+            end_range = self.event_range(name, PointKind.END)
+            if self.layout == "compact":
+                # (16)/(17): end lies within [t_{e_{i-1}}, t_{e_i}]
+                for i in end_range:
+                    prefix = self.end_prefix(name, i)
+                    self.model.add_constr(
+                        self.t_end[name]
+                        <= self.t_event[i] + (1 - prefix) * T,
+                        name=f"t-ub[{name}][e{i}]",
+                    )
+                    suffix = self.end_suffix(name, i)
+                    self.model.add_constr(
+                        self.t_end[name]
+                        >= self.t_event[i - 1] - (1 - suffix) * T,
+                        name=f"t-lb[{name}][e{i}]",
+                    )
+            else:
+                # full layout: ends are exact event points
+                for i in end_range:
+                    prefix = self.end_prefix(name, i)
+                    self.model.add_constr(
+                        self.t_end[name]
+                        <= self.t_event[i] + (1 - prefix) * T,
+                        name=f"t-ub[{name}][e{i}]",
+                    )
+                    suffix = self.end_suffix(name, i)
+                    self.model.add_constr(
+                        self.t_end[name]
+                        >= self.t_event[i] - (1 - suffix) * T,
+                        name=f"t-lb[{name}][e{i}]",
+                    )
+
+    # ==================================================================
+    # activity table (presolve of Sec. IV-C)
+    # ==================================================================
+    def _compute_activity_table(self) -> dict[tuple[str, int], str]:
+        """A-priori activity status of each request at each state."""
+        table: dict[tuple[str, int], str] = {}
+        for request in self.requests:
+            name = request.name
+            start_range = self.event_range(name, PointKind.START)
+            end_range = self.event_range(name, PointKind.END)
+            start_hi = start_range.stop - 1
+            start_lo = start_range.start
+            end_hi = end_range.stop - 1
+            end_lo = end_range.start
+            for state in self.events.states:
+                if not self.options.use_state_reduction:
+                    table[(name, state)] = ActivityStatus.UNDECIDED
+                    continue
+                surely_started = start_hi <= state
+                surely_not_started = start_lo > state
+                surely_ended = end_hi <= state
+                surely_not_ended = end_lo > state
+                if surely_started and surely_not_ended:
+                    table[(name, state)] = ActivityStatus.ACTIVE
+                elif surely_not_started or surely_ended:
+                    table[(name, state)] = ActivityStatus.INACTIVE
+                else:
+                    table[(name, state)] = ActivityStatus.UNDECIDED
+        return table
+
+    def activity_status(self, request_name: str, state_index: int) -> str:
+        """A-priori activity of a request at a state."""
+        return self._activity[(request_name, state_index)]
+
+    # ==================================================================
+    # subclass hook
+    # ==================================================================
+    def _build_states(self) -> None:
+        """Build the state-feasibility machinery (subclass specific)."""
+        raise NotImplementedError
+
+    # ==================================================================
+    # objectives (Sec. IV-E) — defined in repro.tvnep.objectives; thin
+    # default here so a freshly built model is always solvable.
+    # ==================================================================
+    def set_access_control_objective(self) -> None:
+        """Maximize ``sum_R x_R * d_R * sum_v c_R(v)`` (Sec. IV-E.1)."""
+        self.model.set_objective(
+            quicksum(
+                emb.x_embed * emb.request.revenue()
+                for emb in self.embeddings.values()
+            ),
+            ObjectiveSense.MAXIMIZE,
+        )
+
+    # ==================================================================
+    # solving and extraction
+    # ==================================================================
+    def solve(self, backend: str = "highs", **kwargs) -> TemporalSolution:
+        """Solve and extract a :class:`TemporalSolution`.
+
+        Solver statistics (runtime, gap, node count) are carried on the
+        returned solution for the evaluation harness.
+        """
+        from repro.mip import solve
+
+        solution = solve(self.model, backend=backend, **kwargs)
+        return self.extract(solution)
+
+    def solve_raw(self, backend: str = "highs", **kwargs) -> Solution:
+        """Solve and return the raw MIP solution (no extraction)."""
+        from repro.mip import solve
+
+        return solve(self.model, backend=backend, **kwargs)
+
+    def extract(self, solution: Solution) -> TemporalSolution:
+        """Convert a raw MIP solution into a :class:`TemporalSolution`."""
+        scheduled: dict[str, ScheduledRequest] = {}
+        if not solution.has_solution:
+            # carry an empty all-rejected solution with the solver stats
+            for request in self.requests:
+                scheduled[request.name] = ScheduledRequest(
+                    request=request,
+                    embedded=False,
+                    start=request.earliest_start,
+                    end=request.earliest_start + request.duration,
+                )
+            return TemporalSolution(
+                self.substrate,
+                scheduled,
+                objective=math.nan,
+                model_name=self.formulation_name,
+                runtime=solution.runtime,
+                gap=solution.gap,
+                node_count=solution.node_count,
+            )
+
+        for request in self.requests:
+            name = request.name
+            emb = self.embeddings[name]
+            embedded = solution.rounded(emb.x_embed) == 1
+            start = solution.value(self.t_start[name])
+            end = solution.value(self.t_end[name])
+            node_mapping: dict[Hashable, Hashable] = {}
+            link_flows: dict[tuple, dict[tuple, float]] = {}
+            if embedded:
+                for (v, s), var in emb.x_node.items():
+                    if solution.rounded(var) == 1:
+                        node_mapping[v] = s
+                for (lv, ls), var in emb.x_link.items():
+                    value = solution.value(var)
+                    if value > 1e-7:
+                        link_flows.setdefault(lv, {})[ls] = min(value, 1.0)
+            scheduled[name] = ScheduledRequest(
+                request=request,
+                embedded=embedded,
+                start=start,
+                end=end,
+                node_mapping=node_mapping,
+                link_flows=link_flows,
+            )
+        return TemporalSolution(
+            self.substrate,
+            scheduled,
+            objective=solution.objective,
+            model_name=self.formulation_name,
+            runtime=solution.runtime,
+            gap=solution.gap,
+            node_count=solution.node_count,
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Model-size statistics (reported by the evaluation harness)."""
+        return self.model.stats()

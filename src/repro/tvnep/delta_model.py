@@ -1,0 +1,185 @@
+"""The Delta-Model — state *changes* at event points (Sec. III-B).
+
+The Delta-Model is the paper's baseline continuous-time formulation.
+Instead of representing per-request state allocations, it encodes only
+the allocation *difference* ``Delta_e(r)`` at each of the ``2|R|``
+event points, via the big-M selection constraints (3)-(6):
+
+    ``Delta_e(r) <= +alloc(R, r) + c_S(r) * (1 - chi^+_R(e))``     (3)
+    ``Delta_e(r) >= +alloc(R, r) - 2 c_S(r) * (1 - chi^+_R(e))``   (4)
+    ``Delta_e(r) <= -alloc(R, r) + 2 c_S(r) * (1 - chi^-_R(e))``   (5)
+    ``Delta_e(r) >= -alloc(R, r) - c_S(r) * (1 - chi^-_R(e))``     (6)
+
+State feasibility bounds the running prefix sums:
+
+    ``0 <= sum_{j<=i} Delta_{e_j}(r) <= c_S(r)``  for every state ``s_i``.
+
+The paper's Sec. III-B example shows why this relaxation is weak:
+half-half smeared assignments (``chi = 0.5``) make every constraint
+slack, so ``Delta`` can be 0 (allocations invisible) or negative
+(allocations nullified).  The computational evaluation confirms the
+model collapses already at modest flexibilities (Figure 3/4).
+
+One practical addition over the paper's text: constraints (3)-(6) pin
+``Delta_e(r)`` only for requests that can *use* resource ``r``.  When
+the endpoint hosted at ``e`` belongs to a request that cannot use
+``r``, an explicit zero-pinning pair keeps ``Delta_e(r)`` honest (the
+paper implicitly ranges (3)-(6) over all request/resource pairs, which
+is equivalent but much larger).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.mip.expr import LinExpr, Variable
+from repro.network.request import Request
+from repro.network.substrate import SubstrateNetwork
+from repro.temporal.dependency import PointKind
+from repro.tvnep.base import ModelOptions, TemporalModelBase
+from repro.vnep.embedding_vars import NodeMapping
+
+__all__ = ["DeltaModel"]
+
+
+class DeltaModel(TemporalModelBase):
+    """The Delta-Model: ``2|R|`` events, big-M state changes.
+
+    Defaults to the paper's plain formulation (no cuts/reductions);
+    pass ``options=ModelOptions()`` to strengthen it — the state-change
+    encoding itself is unchanged, which is exactly what the relaxation
+    ablation isolates.
+    """
+
+    layout = "full"
+    formulation_name = "delta"
+
+    def __init__(
+        self,
+        substrate: SubstrateNetwork,
+        requests: Sequence[Request],
+        fixed_mappings: Mapping[str, NodeMapping] | None = None,
+        force_embedded: Sequence[str] = (),
+        force_rejected: Sequence[str] = (),
+        options: ModelOptions | None = None,
+    ) -> None:
+        super().__init__(
+            substrate,
+            requests,
+            fixed_mappings=fixed_mappings,
+            force_embedded=force_embedded,
+            force_rejected=force_rejected,
+            options=options or ModelOptions.plain(),
+        )
+
+    # ------------------------------------------------------------------
+    def _build_states(self) -> None:
+        model = self.model
+        substrate = self.substrate
+
+        # which requests can use which resources (sparse big-M pinning)
+        alloc_cache: dict[tuple[str, object], LinExpr] = {}
+        users: dict[object, list[str]] = {r: [] for r in substrate.resources}
+        for request in self.requests:
+            emb = self.embeddings[request.name]
+            for resource in substrate.resources:
+                expr = emb.alloc(resource)
+                if expr.terms:
+                    alloc_cache[(request.name, resource)] = expr
+                    users[resource].append(request.name)
+
+        #: ``Delta`` variables keyed by (event, resource)
+        self.delta: dict[tuple[int, object], Variable] = {}
+        for event in self.events.events:
+            for resource in substrate.resources:
+                cap = substrate.capacity(resource)
+                if not users[resource]:
+                    continue  # resource untouched by any request
+                self.delta[(event, resource)] = model.continuous_var(
+                    f"delta[e{event}][{resource}]", lb=-cap, ub=cap
+                )
+
+        # Constraints (3)-(6)
+        for request in self.requests:
+            name = request.name
+            start_range = self.event_range(name, PointKind.START)
+            end_range = self.event_range(name, PointKind.END)
+            for resource in substrate.resources:
+                alloc = alloc_cache.get((name, resource))
+                if alloc is None:
+                    continue
+                cap = substrate.capacity(resource)
+                for event in start_range:
+                    delta = self.delta[(event, resource)]
+                    chi = self.chi_start[(name, event)]
+                    model.add_constr(
+                        delta <= alloc + (1 - chi) * cap,
+                        name=f"d3[{name}][e{event}][{resource}]",
+                    )
+                    model.add_constr(
+                        delta >= alloc - (1 - chi) * (2 * cap),
+                        name=f"d4[{name}][e{event}][{resource}]",
+                    )
+                for event in end_range:
+                    delta = self.delta[(event, resource)]
+                    chi = self.chi_end[(name, event)]
+                    model.add_constr(
+                        delta <= -alloc + (1 - chi) * (2 * cap),
+                        name=f"d5[{name}][e{event}][{resource}]",
+                    )
+                    model.add_constr(
+                        delta >= -alloc - (1 - chi) * cap,
+                        name=f"d6[{name}][e{event}][{resource}]",
+                    )
+
+        # zero-pinning: an event hosting a non-user's endpoint changes
+        # nothing on the resource
+        for (event, resource), delta in self.delta.items():
+            cap = substrate.capacity(resource)
+            hosted_users = LinExpr()
+            for name in users[resource]:
+                var = self.chi_start.get((name, event))
+                if var is not None:
+                    hosted_users.add_term(var, 1.0)
+                var = self.chi_end.get((name, event))
+                if var is not None:
+                    hosted_users.add_term(var, 1.0)
+            model.add_constr(
+                delta <= hosted_users * cap,
+                name=f"pin+[e{event}][{resource}]",
+            )
+            model.add_constr(
+                delta >= hosted_users * (-cap),
+                name=f"pin-[e{event}][{resource}]",
+            )
+
+        # state feasibility: 0 <= prefix sums <= capacity
+        #: total usage expression per (state, resource) — consumed by the
+        #: load-balancing objective (Sec. IV-E.3)
+        self.state_usage: dict[tuple[int, object], LinExpr] = {}
+        prefix: dict[object, LinExpr] = {
+            resource: LinExpr() for resource in substrate.resources
+        }
+        for state in self.events.states:
+            # state s_i lies after event e_i: include Delta_{e_i}
+            for resource in substrate.resources:
+                if not users[resource]:
+                    continue
+                var = self.delta.get((state, resource))
+                if var is not None:
+                    prefix[resource] = prefix[resource] + var
+                expr = prefix[resource]
+                if not expr.terms:
+                    continue
+                self.state_usage[(state, resource)] = expr
+                cap = substrate.capacity(resource)
+                model.add_constr(
+                    expr <= cap, name=f"capD[s{state}][{resource}]"
+                )
+                model.add_constr(
+                    expr >= 0, name=f"nonneg[s{state}][{resource}]"
+                )
+
+    def num_delta_variables(self) -> int:
+        """How many ``Delta`` variables were created (ablation metric)."""
+        return len(self.delta)

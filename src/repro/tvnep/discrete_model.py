@@ -1,0 +1,243 @@
+"""A discrete-time (slotted) TVNEP baseline.
+
+The paper argues for *continuous*-time formulations because they avoid
+"inaccuracies due to time discretizations" (Sec. III).  This module
+implements the alternative the paper argues against — a classic
+time-indexed MIP over a uniform slot grid — so the trade-off can be
+measured instead of asserted:
+
+* **accuracy**: start times are restricted to multiples of the slot
+  length, so a discretized model may reject schedules (and revenue)
+  that the continuous models accept; on adversarial instances (e.g.
+  durations just over a slot boundary) the loss is unbounded;
+* **size**: the model carries one activity variable per (request,
+  slot), so refining the grid to recover accuracy blows up the model —
+  ``benchmarks/bench_ablation_discretization.py`` quantifies both.
+
+Semantics: a request occupies the *closed-open* slot range
+``[start_slot, start_slot + ceil(d / slot))``; its real start time is
+``start_slot * slot`` and it runs for its true duration (the slot
+footprint conservatively over-reserves the tail, the standard
+time-indexed relaxation-safe choice).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Mapping, Sequence
+
+from repro.exceptions import ValidationError
+from repro.mip.expr import LinExpr, Variable, quicksum
+from repro.mip.model import Model, ObjectiveSense
+from repro.network.request import Request
+from repro.network.substrate import SubstrateNetwork
+from repro.tvnep.solution import ScheduledRequest, TemporalSolution
+from repro.vnep.embedding_vars import EmbeddingVariables, NodeMapping
+
+__all__ = ["DiscreteTimeModel"]
+
+
+class DiscreteTimeModel:
+    """Time-indexed TVNEP over a uniform slot grid.
+
+    Parameters
+    ----------
+    substrate, requests:
+        The instance.
+    slot_length:
+        Grid resolution; must be > 0.
+    fixed_mappings / force_embedded / force_rejected:
+        Same semantics as the continuous models.
+    time_horizon:
+        ``T``; defaults to the latest window end, rounded up to a slot.
+    """
+
+    formulation_name = "discrete"
+
+    def __init__(
+        self,
+        substrate: SubstrateNetwork,
+        requests: Sequence[Request],
+        slot_length: float,
+        fixed_mappings: Mapping[str, NodeMapping] | None = None,
+        force_embedded: Sequence[str] = (),
+        force_rejected: Sequence[str] = (),
+        time_horizon: float | None = None,
+    ) -> None:
+        if slot_length <= 0:
+            raise ValidationError("slot length must be > 0")
+        names = [r.name for r in requests]
+        if len(set(names)) != len(names):
+            raise ValidationError("request names must be unique")
+        if not requests:
+            raise ValidationError("TVNEP needs at least one request")
+
+        self.substrate = substrate
+        self.requests = list(requests)
+        self.slot = float(slot_length)
+        horizon = time_horizon
+        if horizon is None:
+            horizon = max(r.latest_end for r in requests)
+        self.num_slots = max(1, math.ceil(horizon / self.slot - 1e-9))
+        self.T = self.num_slots * self.slot
+        self.model = Model(self.formulation_name)
+
+        fixed_mappings = fixed_mappings or {}
+        self.embeddings: dict[str, EmbeddingVariables] = {}
+        for request in self.requests:
+            self.embeddings[request.name] = EmbeddingVariables(
+                self.model,
+                substrate,
+                request,
+                fixed_mapping=fixed_mappings.get(request.name),
+                force_embedded=request.name in force_embedded,
+                force_rejected=request.name in force_rejected,
+            )
+
+        #: start-slot indicators ``y[(request, slot_index)]``
+        self.start_slot: dict[tuple[str, int], Variable] = {}
+        #: slot footprint length per request
+        self.slots_needed: dict[str, int] = {}
+        self._admissible: dict[str, list[int]] = {}
+        for request in self.requests:
+            name = request.name
+            needed = max(1, math.ceil(request.duration / self.slot - 1e-9))
+            self.slots_needed[name] = needed
+            slots = self._admissible_start_slots(request, needed)
+            self._admissible[name] = slots
+            for slot_index in slots:
+                self.start_slot[(name, slot_index)] = self.model.binary_var(
+                    f"y[{name}][t{slot_index}]"
+                )
+            starts = quicksum(
+                self.start_slot[(name, s)] for s in slots
+            )
+            # embedded iff exactly one start slot chosen; a request with
+            # no admissible slot at this grid is forcibly rejected
+            if slots:
+                self.model.add_constr(
+                    starts == self.embeddings[name].x_embed,
+                    name=f"startslot[{name}]",
+                )
+            else:
+                self.model.fix_var(self.embeddings[name].x_embed, 0.0)
+
+        self._build_capacity_constraints()
+        self.set_access_control_objective()
+
+    # ------------------------------------------------------------------
+    def _admissible_start_slots(self, request: Request, needed: int) -> list[int]:
+        """Grid starts whose true schedule fits the request's window."""
+        slots = []
+        for slot_index in range(self.num_slots - needed + 1):
+            start_time = slot_index * self.slot
+            if start_time < request.earliest_start - 1e-9:
+                continue
+            if start_time + request.duration > request.latest_end + 1e-9:
+                continue
+            slots.append(slot_index)
+        return slots
+
+    def _active_expr(self, name: str, slot_index: int) -> LinExpr:
+        """1 iff the request's footprint covers ``slot_index``."""
+        expr = LinExpr()
+        needed = self.slots_needed[name]
+        for start in self._admissible[name]:
+            if start <= slot_index < start + needed:
+                expr.add_term(self.start_slot[(name, start)], 1.0)
+        return expr
+
+    def _build_capacity_constraints(self) -> None:
+        # per slot and resource: sum of active requests' allocations.
+        # the activity indicator gates the (static) allocation via the
+        # same big-M device as the Sigma-Model's Constraint (7).
+        for slot_index in range(self.num_slots):
+            for resource in self.substrate.resources:
+                capacity = self.substrate.capacity(resource)
+                usage = LinExpr()
+                relevant = False
+                for request in self.requests:
+                    name = request.name
+                    emb = self.embeddings[name]
+                    alloc = emb.alloc(resource)
+                    if not alloc.terms:
+                        continue
+                    active = self._active_expr(name, slot_index)
+                    if not active.terms:
+                        continue
+                    relevant = True
+                    big_m = emb.alloc_upper_bound(resource)
+                    a = self.model.continuous_var(
+                        f"aD[{name}][t{slot_index}][{resource}]", lb=0.0
+                    )
+                    self.model.add_constr(
+                        a >= alloc - (1 - active) * big_m,
+                        name=f"slotLB[{name}][t{slot_index}][{resource}]",
+                    )
+                    usage.add_term(a, 1.0)
+                if relevant:
+                    self.model.add_constr(
+                        usage <= capacity,
+                        name=f"slotcap[t{slot_index}][{resource}]",
+                    )
+
+    # ------------------------------------------------------------------
+    def set_access_control_objective(self) -> None:
+        """Maximize accepted revenue (Sec. IV-E.1)."""
+        self.model.set_objective(
+            quicksum(
+                emb.x_embed * emb.request.revenue()
+                for emb in self.embeddings.values()
+            ),
+            ObjectiveSense.MAXIMIZE,
+        )
+
+    def stats(self) -> dict[str, int]:
+        return self.model.stats()
+
+    # ------------------------------------------------------------------
+    def solve(self, backend: str = "highs", **kwargs) -> TemporalSolution:
+        from repro.mip import solve
+
+        raw = solve(self.model, backend=backend, **kwargs)
+        return self.extract(raw)
+
+    def extract(self, raw) -> TemporalSolution:
+        scheduled: dict[str, ScheduledRequest] = {}
+        for request in self.requests:
+            name = request.name
+            emb = self.embeddings[name]
+            embedded = raw.has_solution and raw.rounded(emb.x_embed) == 1
+            start = request.earliest_start
+            if embedded:
+                for slot_index in self._admissible[name]:
+                    if raw.rounded(self.start_slot[(name, slot_index)]) == 1:
+                        start = slot_index * self.slot
+                        break
+            node_mapping: dict[Hashable, Hashable] = {}
+            link_flows: dict[tuple, dict[tuple, float]] = {}
+            if embedded:
+                for (v, s), var in emb.x_node.items():
+                    if raw.rounded(var) == 1:
+                        node_mapping[v] = s
+                for (lv, ls), var in emb.x_link.items():
+                    value = raw.value(var)
+                    if value > 1e-7:
+                        link_flows.setdefault(lv, {})[ls] = min(value, 1.0)
+            scheduled[name] = ScheduledRequest(
+                request=request,
+                embedded=embedded,
+                start=start,
+                end=start + request.duration,
+                node_mapping=node_mapping,
+                link_flows=link_flows,
+            )
+        return TemporalSolution(
+            self.substrate,
+            scheduled,
+            objective=raw.objective if raw.has_solution else math.nan,
+            model_name=self.formulation_name,
+            runtime=raw.runtime,
+            gap=raw.gap,
+            node_count=raw.node_count,
+        )

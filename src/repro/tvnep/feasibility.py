@@ -1,0 +1,218 @@
+"""Independent feasibility verification of TVNEP solutions.
+
+This module re-checks a :class:`~repro.tvnep.solution.TemporalSolution`
+against Definition 2.1 *without* any MIP machinery:
+
+1. every accepted request has a complete node mapping and its link
+   flows form valid unit flows from tail host to head host,
+2. the schedule respects duration and window (``t^- - t^+ = d``,
+   ``t^s <= t^+``, ``t^- <= t^e``), and
+3. at every point in time the summed allocations respect node and link
+   capacities — checked via an event sweep over the (open) activity
+   intervals, which is exact because allocations are piecewise constant.
+
+The verifier is the correctness oracle of the test suite: every model
+and heuristic solution must pass it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.network.substrate import SubstrateNetwork
+from repro.temporal.events import Timeline
+from repro.temporal.interval import Interval
+from repro.tvnep.solution import ScheduledRequest, TemporalSolution
+
+__all__ = ["verify_solution", "check_unit_flow", "FeasibilityReport"]
+
+
+class FeasibilityReport:
+    """Collected violations; empty means the solution is feasible."""
+
+    def __init__(self) -> None:
+        self.violations: list[str] = []
+
+    def add(self, message: str) -> None:
+        self.violations.append(message)
+
+    @property
+    def feasible(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+    def __repr__(self) -> str:
+        if self.feasible:
+            return "FeasibilityReport(feasible)"
+        joined = "; ".join(self.violations[:5])
+        more = f" (+{len(self.violations) - 5} more)" if len(self.violations) > 5 else ""
+        return f"FeasibilityReport({joined}{more})"
+
+
+def check_unit_flow(
+    substrate: SubstrateNetwork,
+    scheduled: ScheduledRequest,
+    virtual_link: tuple,
+    tol: float = 1e-5,
+) -> list[str]:
+    """Check that a virtual link's flows form a unit tail->head flow.
+
+    Verifies flow conservation at every substrate node: net outflow must
+    be ``+1`` at the tail's host, ``-1`` at the head's host, 0 elsewhere
+    (and 0 everywhere when both endpoints share a host).
+    """
+    problems: list[str] = []
+    tail, head = virtual_link
+    name = scheduled.name
+    src = scheduled.node_mapping.get(tail)
+    dst = scheduled.node_mapping.get(head)
+    if src is None or dst is None:
+        return [f"{name}: link {virtual_link} endpoints not mapped"]
+    flows = scheduled.link_flows.get(virtual_link, {})
+    for ls, fraction in flows.items():
+        if not substrate.has_link(ls):
+            problems.append(f"{name}: flow on unknown substrate link {ls}")
+        if fraction < -tol or fraction > 1 + tol:
+            problems.append(
+                f"{name}: flow fraction {fraction} on {ls} outside [0, 1]"
+            )
+    for s in substrate.nodes:
+        outflow = sum(flows.get(ls, 0.0) for ls in substrate.out_links(s))
+        inflow = sum(flows.get(ls, 0.0) for ls in substrate.in_links(s))
+        expected = 0.0
+        if src != dst:
+            if s == src:
+                expected = 1.0
+            elif s == dst:
+                expected = -1.0
+        if abs(outflow - inflow - expected) > tol:
+            problems.append(
+                f"{name}: flow conservation violated for {virtual_link} at "
+                f"{s}: net outflow {outflow - inflow:.6f}, expected {expected}"
+            )
+    return problems
+
+
+def _snap_times(solution: TemporalSolution, snap: float) -> dict[float, float]:
+    """Cluster nearly-equal schedule times to one representative.
+
+    MIP solutions satisfy ``t^-_A == t^+_B`` only up to solver
+    tolerance; without snapping, a 1e-14 sliver of overlap between a
+    back-to-back pair would read as a full capacity violation in the
+    exact sweep.  Times within ``snap`` of each other are merged to
+    their cluster mean.
+    """
+    times = sorted(
+        {entry.start for entry in solution.scheduled.values() if entry.embedded}
+        | {entry.end for entry in solution.scheduled.values() if entry.embedded}
+    )
+    mapping: dict[float, float] = {}
+    cluster: list[float] = []
+    for t in times:
+        if cluster and t - cluster[-1] > snap:
+            representative = sum(cluster) / len(cluster)
+            for member in cluster:
+                mapping[member] = representative
+            cluster = []
+        cluster.append(t)
+    if cluster:
+        representative = sum(cluster) / len(cluster)
+        for member in cluster:
+            mapping[member] = representative
+    return mapping
+
+
+def verify_solution(
+    solution: TemporalSolution,
+    tol: float = 1e-5,
+    check_windows: bool = True,
+    time_snap: float = 1e-6,
+    check_flows: bool = True,
+) -> FeasibilityReport:
+    """Full Definition-2.1 check of a temporal solution.
+
+    Parameters
+    ----------
+    solution:
+        The solution to verify.
+    tol:
+        Numerical tolerance for capacities, flows and times.
+    check_windows:
+        Also validate schedule windows for *rejected* requests (their
+        times must be fixed per Definition 2.1 but some producers leave
+        them at defaults; disable to skip).
+    time_snap:
+        Times closer than this are treated as simultaneous during the
+        capacity sweep (see :func:`_snap_times`); schedule checks use
+        the raw values.
+    check_flows:
+        Validate per-virtual-link unit flows and count their bandwidth
+        toward link capacities.  The re-routing extension disables this
+        and checks its per-state flows itself
+        (:meth:`repro.tvnep.rerouting.ReroutingSchedule.verify`).
+    """
+    report = FeasibilityReport()
+    substrate = solution.substrate
+    timeline = Timeline()
+    snapped = _snap_times(solution, time_snap)
+
+    for name, entry in solution.scheduled.items():
+        request = entry.request
+        # -- schedule checks -------------------------------------------
+        duration_err = abs((entry.end - entry.start) - request.duration)
+        relevant = entry.embedded or check_windows
+        if relevant:
+            if duration_err > tol:
+                report.add(
+                    f"{name}: scheduled duration {entry.end - entry.start:.6f}"
+                    f" != d_R {request.duration:.6f}"
+                )
+            if entry.start < request.earliest_start - tol:
+                report.add(
+                    f"{name}: starts at {entry.start:.6f} before "
+                    f"t^s {request.earliest_start:.6f}"
+                )
+            if entry.end > request.latest_end + tol:
+                report.add(
+                    f"{name}: ends at {entry.end:.6f} after "
+                    f"t^e {request.latest_end:.6f}"
+                )
+        if not entry.embedded:
+            continue
+
+        # -- mapping checks --------------------------------------------
+        for v in request.vnet.nodes:
+            host = entry.node_mapping.get(v)
+            if host is None:
+                report.add(f"{name}: virtual node {v!r} not mapped")
+            elif not substrate.has_node(host):
+                report.add(f"{name}: {v!r} mapped to unknown node {host!r}")
+        if check_flows:
+            for lv in request.vnet.links:
+                report.violations.extend(
+                    check_unit_flow(substrate, entry, lv, tol=tol)
+                )
+
+        # -- accumulate allocations ------------------------------------
+        lo = snapped.get(entry.start, entry.start)
+        hi = snapped.get(entry.end, entry.end)
+        if hi < lo:  # degenerate after snapping (duration ~ snap)
+            hi = lo
+        activity = Interval(lo, hi)
+        timeline.add_usages(entry.node_usage(), activity)
+        if check_flows:
+            timeline.add_usages(entry.link_usage(), activity)
+
+    # -- capacity checks ----------------------------------------------
+    capacities: dict[Hashable, float] = {
+        s: substrate.node_capacity(s) for s in substrate.nodes
+    }
+    capacities.update({ls: substrate.link_capacity(ls) for ls in substrate.links})
+    for resource, excess in timeline.violations(capacities, tol=tol).items():
+        report.add(
+            f"capacity exceeded on {resource!r} by {excess:.6f} "
+            f"(cap {capacities[resource]:g})"
+        )
+    return report

@@ -1,0 +1,203 @@
+"""Link embedding for a *fixed* schedule and node mapping.
+
+When every request's start/end time and node mapping are fixed, the
+TVNEP loses all its integer structure: the only remaining freedom is
+the splittable routing of virtual links, which is a pure LP —
+
+* flow-conservation rows per (request, virtual link, substrate node),
+* one capacity row per (critical interval, substrate resource), where
+  the critical intervals come from sweeping the fixed activity
+  intervals (Sec. III-A's event-point insight applied directly).
+
+This LP is the engine of the polynomial greedy variant
+(:func:`repro.tvnep.greedy.greedy_enumerative`), and doubles as a
+standalone "can these tenants coexist?" feasibility oracle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+from repro.mip.expr import LinExpr, quicksum
+from repro.mip.highs_backend import solve as solve_highs
+from repro.mip.model import Model, ObjectiveSense
+from repro.network.request import Request
+from repro.network.substrate import SubstrateNetwork
+from repro.temporal.interval import Interval
+
+__all__ = ["FixedPlacement", "FixedScheduleResult", "solve_fixed_schedule"]
+
+
+@dataclass(frozen=True)
+class FixedPlacement:
+    """One request pinned in space and time."""
+
+    request: Request
+    node_mapping: Mapping[Hashable, Hashable]
+    interval: Interval
+
+    def node_usage(self) -> dict[Hashable, float]:
+        usage: dict[Hashable, float] = {}
+        for v, host in self.node_mapping.items():
+            usage[host] = usage.get(host, 0.0) + self.request.vnet.node_demand(v)
+        return usage
+
+
+@dataclass
+class FixedScheduleResult:
+    """Outcome of the fixed-schedule link-embedding LP."""
+
+    feasible: bool
+    #: ``{request name: {virtual link: {substrate link: fraction}}}``
+    link_flows: dict[str, dict[tuple, dict[tuple, float]]]
+    #: reason when infeasible ("" otherwise)
+    reason: str = ""
+    runtime: float = 0.0
+
+
+def _critical_groups(
+    placements: list[FixedPlacement],
+) -> list[list[int]]:
+    """Indices of simultaneously active placements per critical interval.
+
+    Activity intervals are open, so groups are formed at the midpoints
+    between consecutive critical times.
+    """
+    points = sorted(
+        {p.interval.lo for p in placements} | {p.interval.hi for p in placements}
+    )
+    groups: list[list[int]] = []
+    seen: set[tuple[int, ...]] = set()
+    for lo, hi in zip(points, points[1:]):
+        mid = 0.5 * (lo + hi)
+        active = [
+            i
+            for i, p in enumerate(placements)
+            if p.interval.lo < mid < p.interval.hi
+        ]
+        key = tuple(active)
+        if active and key not in seen:
+            seen.add(key)
+            groups.append(active)
+    return groups
+
+
+def solve_fixed_schedule(
+    substrate: SubstrateNetwork,
+    placements: list[FixedPlacement],
+) -> FixedScheduleResult:
+    """Decide whether the pinned placements can coexist; return flows.
+
+    Node feasibility is pure arithmetic (mappings are constants); link
+    feasibility solves one LP.  Placements with a degenerate interval
+    contribute nothing (they never hold resources).
+    """
+    for placement in placements:
+        missing = [
+            v
+            for v in placement.request.vnet.nodes
+            if v not in placement.node_mapping
+        ]
+        if missing:
+            raise ValidationError(
+                f"{placement.request.name}: mapping misses {missing}"
+            )
+
+    active_placements = [p for p in placements if not p.interval.is_degenerate]
+    groups = _critical_groups(active_placements)
+
+    # -- node capacities: constants only ---------------------------------
+    for group in groups:
+        usage: dict[Hashable, float] = {}
+        for index in group:
+            for host, amount in active_placements[index].node_usage().items():
+                usage[host] = usage.get(host, 0.0) + amount
+        for host, amount in usage.items():
+            if amount > substrate.node_capacity(host) + 1e-9:
+                members = ", ".join(
+                    active_placements[i].request.name for i in group
+                )
+                return FixedScheduleResult(
+                    feasible=False,
+                    link_flows={},
+                    reason=(
+                        f"node {host!r} over capacity "
+                        f"({amount:.3f} > {substrate.node_capacity(host):g}) "
+                        f"while {{{members}}} are active"
+                    ),
+                )
+
+    # -- link flows: one LP ----------------------------------------------
+    model = Model("fixed-schedule")
+    flow_vars: dict[tuple[int, tuple, tuple], object] = {}
+    for index, placement in enumerate(active_placements):
+        vnet = placement.request.vnet
+        for lv in vnet.links:
+            for ls in substrate.links:
+                flow_vars[(index, lv, ls)] = model.continuous_var(
+                    f"f[{index}][{lv}@{ls}]", lb=0.0, ub=1.0
+                )
+        for lv in vnet.links:
+            tail, head = lv
+            src = placement.node_mapping[tail]
+            dst = placement.node_mapping[head]
+            for s in substrate.nodes:
+                outflow = quicksum(
+                    flow_vars[(index, lv, ls)] for ls in substrate.out_links(s)
+                )
+                inflow = quicksum(
+                    flow_vars[(index, lv, ls)] for ls in substrate.in_links(s)
+                )
+                balance = 0.0
+                if src != dst:
+                    if s == src:
+                        balance = 1.0
+                    elif s == dst:
+                        balance = -1.0
+                model.add_constr(
+                    outflow - inflow == balance,
+                    name=f"flow[{index}][{lv}][{s}]",
+                )
+
+    for group in groups:
+        for ls in substrate.links:
+            usage = LinExpr()
+            for index in group:
+                vnet = active_placements[index].request.vnet
+                for lv in vnet.links:
+                    usage.add_term(
+                        flow_vars[(index, lv, ls)], vnet.link_demand(lv)
+                    )
+            if usage.terms:
+                model.add_constr(
+                    usage <= substrate.link_capacity(ls),
+                    name=f"cap[{ls}]",
+                )
+
+    # minimizing total flow keeps routings cycle-free and canonical
+    model.set_objective(
+        quicksum(var for var in flow_vars.values()), ObjectiveSense.MINIMIZE
+    )
+    solution = solve_highs(model)
+    if not solution.has_solution:
+        return FixedScheduleResult(
+            feasible=False,
+            link_flows={},
+            reason="link-embedding LP infeasible",
+            runtime=solution.runtime,
+        )
+
+    flows: dict[str, dict[tuple, dict[tuple, float]]] = {}
+    for (index, lv, ls), var in flow_vars.items():
+        value = solution.value(var)
+        if value > 1e-7:
+            name = active_placements[index].request.name
+            flows.setdefault(name, {}).setdefault(lv, {})[ls] = min(value, 1.0)
+    # placements with no active links still appear with empty flows
+    for placement in active_placements:
+        flows.setdefault(placement.request.name, {})
+    return FixedScheduleResult(
+        feasible=True, link_flows=flows, runtime=solution.runtime
+    )

@@ -1,0 +1,229 @@
+"""The heavy-hitters hybrid the paper's conclusion sketches.
+
+    "[the greedy] could also be used in combination with the optimal
+    algorithms, e.g., for allocating many smaller VNets while more
+    rigorous optimizations are performed on the resource-intensive
+    VNets (the 'heavy-hitters')."  — Sec. VIII
+
+:func:`hybrid_heavy_hitters` implements exactly that division of
+labor:
+
+1. split the request set by revenue (``d_R * sum_v c_R(v)``): the top
+   ``heavy_fraction`` are *heavy-hitters*, the rest are *small*;
+2. solve the heavy-hitters **exactly** with the cSigma-Model (access
+   control), obtaining their accept/reject decisions and schedules;
+3. insert the small requests **greedily** (earliest-start order, each
+   as one cSigma solve with everything placed so far pinned — the
+   same per-iteration machinery as Algorithm cSigma^G_A).
+
+The result is always feasible, dominates pure greedy whenever the
+heavy-hitters carry most of the revenue (they get the optimal
+treatment), and costs one moderately sized exact solve plus cheap
+greedy iterations instead of one big exact solve.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import SolverError, ValidationError
+from repro.mip.model import ObjectiveSense
+from repro.network.request import Request
+from repro.network.substrate import SubstrateNetwork
+from repro.tvnep.base import ModelOptions
+from repro.tvnep.csigma_model import CSigmaModel
+from repro.tvnep.solution import ScheduledRequest, TemporalSolution
+from repro.vnep.embedding_vars import NodeMapping
+
+__all__ = ["HybridResult", "hybrid_heavy_hitters"]
+
+
+@dataclass
+class HybridResult:
+    """Outcome of the heavy-hitters hybrid.
+
+    Attributes
+    ----------
+    solution:
+        Final temporal solution over all requests.
+    heavy_names / small_names:
+        The revenue split used.
+    exact_runtime:
+        Seconds spent on the heavy-hitters' exact solve.
+    greedy_runtimes:
+        Per-insertion seconds for the small requests.
+    """
+
+    solution: TemporalSolution
+    heavy_names: list[str] = field(default_factory=list)
+    small_names: list[str] = field(default_factory=list)
+    exact_runtime: float = 0.0
+    greedy_runtimes: list[float] = field(default_factory=list)
+
+    @property
+    def total_runtime(self) -> float:
+        return self.exact_runtime + sum(self.greedy_runtimes)
+
+
+def hybrid_heavy_hitters(
+    substrate: SubstrateNetwork,
+    requests: Sequence[Request],
+    fixed_mappings: Mapping[str, NodeMapping],
+    heavy_fraction: float = 0.3,
+    options: ModelOptions | None = None,
+    backend: str = "highs",
+    exact_time_limit: float | None = None,
+    time_limit_per_iteration: float | None = None,
+) -> HybridResult:
+    """Exact on the heavy-hitters, greedy on the rest (Sec. VIII).
+
+    Parameters
+    ----------
+    heavy_fraction:
+        Fraction of requests (by count, after sorting by revenue
+        descending) treated exactly; clamped to at least one request
+        when the set is non-empty.
+    exact_time_limit / time_limit_per_iteration:
+        Budgets for the exact phase and each greedy insertion.
+    """
+    if not 0.0 <= heavy_fraction <= 1.0:
+        raise ValidationError("heavy_fraction must lie in [0, 1]")
+    missing = [r.name for r in requests if r.name not in fixed_mappings]
+    if missing:
+        raise SolverError(
+            f"hybrid needs fixed node mappings for all requests; missing {missing}"
+        )
+    options = options or ModelOptions()
+    horizon = max(r.latest_end for r in requests)
+    options = _with_horizon(options, horizon)
+
+    by_revenue = sorted(requests, key=lambda r: (-r.revenue(), r.name))
+    num_heavy = max(1, round(heavy_fraction * len(by_revenue))) if by_revenue else 0
+    heavy = by_revenue[:num_heavy]
+    small = sorted(
+        by_revenue[num_heavy:], key=lambda r: (r.earliest_start, r.name)
+    )
+    heavy_names = [r.name for r in heavy]
+    small_names = [r.name for r in small]
+
+    # -- phase 1: exact on the heavy-hitters ------------------------------
+    tick = time.perf_counter()
+    exact_model = CSigmaModel(
+        substrate,
+        heavy,
+        fixed_mappings={name: fixed_mappings[name] for name in heavy_names},
+        options=options,
+    )
+    exact_solution = exact_model.solve(backend=backend, time_limit=exact_time_limit)
+    exact_runtime = time.perf_counter() - tick
+
+    # pin the heavy-hitters' outcomes
+    current: dict[str, Request] = {}
+    accepted: list[str] = []
+    rejected: list[str] = []
+    for request in heavy:
+        entry = exact_solution.scheduled.get(request.name)
+        if entry is not None and entry.embedded:
+            current[request.name] = request.with_schedule(entry.start, entry.end)
+            accepted.append(request.name)
+        else:
+            current[request.name] = request.with_schedule(
+                request.earliest_start,
+                request.earliest_start + request.duration,
+            )
+            rejected.append(request.name)
+
+    # -- phase 2: greedy insertion of the small requests -------------------
+    greedy_runtimes: list[float] = []
+    for request in small:
+        current[request.name] = request
+        tick = time.perf_counter()
+        model = CSigmaModel(
+            substrate,
+            list(current.values()),
+            fixed_mappings={name: fixed_mappings[name] for name in current},
+            force_embedded=accepted,
+            force_rejected=rejected,
+            options=options,
+        )
+        target = model.embeddings[request.name]
+        model.model.set_objective(
+            target.x_embed * horizon + (horizon - model.t_end[request.name]),
+            ObjectiveSense.MAXIMIZE,
+        )
+        raw = model.solve_raw(backend=backend, time_limit=time_limit_per_iteration)
+        greedy_runtimes.append(time.perf_counter() - tick)
+        if raw.has_solution and raw.rounded(target.x_embed) == 1:
+            start = raw.value(model.t_start[request.name])
+            end = raw.value(model.t_end[request.name])
+            current[request.name] = request.with_schedule(start, end)
+            accepted.append(request.name)
+        else:
+            current[request.name] = request.with_schedule(
+                request.earliest_start,
+                request.earliest_start + request.duration,
+            )
+            rejected.append(request.name)
+
+    # -- assemble the final solution ---------------------------------------
+    # a fully-pinned solve over the whole request set (cheap: every
+    # decision is fixed) so the extraction always covers all requests
+    final_model = CSigmaModel(
+        substrate,
+        list(current.values()),
+        fixed_mappings={name: fixed_mappings[name] for name in current},
+        force_embedded=accepted,
+        force_rejected=rejected,
+        options=options,
+    )
+    solution = final_model.extract(final_model.solve_raw(backend=backend))
+
+    solution = _restore_requests(solution, requests)
+    solution.model_name = "hybrid-heavy-hitters"
+    solution.objective = solution.total_revenue()
+    solution.runtime = exact_runtime + sum(greedy_runtimes)
+    solution.gap = 0.0
+    return HybridResult(
+        solution=solution,
+        heavy_names=heavy_names,
+        small_names=small_names,
+        exact_runtime=exact_runtime,
+        greedy_runtimes=greedy_runtimes,
+    )
+
+
+def _with_horizon(options: ModelOptions, horizon: float) -> ModelOptions:
+    if options.time_horizon is not None:
+        return options
+    from dataclasses import replace
+
+    return replace(options, time_horizon=horizon)
+
+
+def _restore_requests(
+    solution: TemporalSolution, originals: Sequence[Request]
+) -> TemporalSolution:
+    """Swap the pinned request copies back for the caller's originals."""
+    by_name = {r.name: r for r in originals}
+    scheduled = {
+        name: ScheduledRequest(
+            request=by_name[name],
+            embedded=entry.embedded,
+            start=entry.start,
+            end=entry.end,
+            node_mapping=entry.node_mapping,
+            link_flows=entry.link_flows,
+        )
+        for name, entry in solution.scheduled.items()
+    }
+    return TemporalSolution(
+        solution.substrate,
+        scheduled,
+        objective=solution.objective,
+        model_name=solution.model_name,
+        runtime=solution.runtime,
+        gap=solution.gap,
+        node_count=solution.node_count,
+    )

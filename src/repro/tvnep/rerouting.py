@@ -1,0 +1,313 @@
+"""Temporal link re-routing — the paper's reconfiguration extension.
+
+Sec. II-B fixes the embedding to be time-invariant but notes the model
+"can be easily adapted to model explicit migrations".  Migrating *VMs*
+costs real resources (state transfer); re-routing *flows* does not —
+splittable flows can be re-balanced between states essentially for
+free in an SDN setting (the paper's B4 motivation).  This module
+implements that adaptation on top of the cSigma event machinery:
+
+* node placements stay invariant (``x_V`` as before, fixed mappings
+  required — the paper's evaluation setting);
+* every virtual link gets *per-state* flow variables
+  ``x_E(L_v, L_s, s_i)``, each forming a unit flow exactly while the
+  request is active at state ``s_i``;
+* link capacity is checked per state directly on these flows (no
+  big-M state-allocation gadget needed for links at all).
+
+The activity gate is the product ``x_R * Sigma(R, s_i)``, linearized
+through an auxiliary variable ``z`` with the standard McCormick rows.
+
+Because any time-invariant routing is a special case of a per-state
+routing, the re-routing optimum dominates the static cSigma optimum —
+and strictly so on instances where contention moves around over time
+(see ``tests/tvnep/test_rerouting.py`` for a minimal certificate and
+``benchmarks/bench_extension_rerouting.py`` for the measured gain).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.exceptions import ModelingError
+from repro.mip.expr import LinExpr, Variable, quicksum
+from repro.network.request import Request
+from repro.network.substrate import SubstrateNetwork
+from repro.temporal.interval import Interval
+from repro.tvnep.base import ActivityStatus, ModelOptions, TemporalModelBase
+from repro.tvnep.feasibility import FeasibilityReport
+from repro.tvnep.sigma_model import ExplicitStateMixin
+from repro.tvnep.solution import TemporalSolution
+from repro.vnep.embedding_vars import NodeMapping
+
+__all__ = ["ReroutingCSigmaModel", "ReroutingSchedule"]
+
+
+class ReroutingCSigmaModel(ExplicitStateMixin, TemporalModelBase):
+    """cSigma with per-state (time-variant) link flows.
+
+    Node mappings must be fixed for every request: with free
+    placements the per-state flow balance would be a product of two
+    binary variables per substrate node, which this variant
+    deliberately avoids (and the paper's evaluation fixes mappings
+    anyway).
+    """
+
+    layout = "compact"
+    formulation_name = "csigma-rerouting"
+    build_static_link_flows = False
+
+    def __init__(
+        self,
+        substrate: SubstrateNetwork,
+        requests: Sequence[Request],
+        fixed_mappings: Mapping[str, NodeMapping],
+        force_embedded: Sequence[str] = (),
+        force_rejected: Sequence[str] = (),
+        options: ModelOptions | None = None,
+    ) -> None:
+        missing = [r.name for r in requests if r.name not in (fixed_mappings or {})]
+        if missing:
+            raise ModelingError(
+                f"re-routing model requires fixed node mappings; missing {missing}"
+            )
+        self._mappings = {name: dict(m) for name, m in fixed_mappings.items()}
+        super().__init__(
+            substrate,
+            requests,
+            fixed_mappings=fixed_mappings,
+            force_embedded=force_embedded,
+            force_rejected=force_rejected,
+            options=options or ModelOptions(),
+        )
+
+    # ------------------------------------------------------------------
+    def _build_states(self) -> None:
+        # node allocations: the standard explicit-state machinery (the
+        # link alloc expressions are empty, so only nodes materialize)
+        super()._build_states()
+
+        model = self.model
+        substrate = self.substrate
+
+        #: activity gate ``z = x_R * Sigma(R, s_i)`` per (request, state)
+        self.gate: dict[tuple[str, int], LinExpr] = {}
+        #: per-state flows keyed by (request, vlink, slink, state)
+        self.state_flows: dict[tuple[str, tuple, tuple, int], Variable] = {}
+
+        for request in self.requests:
+            name = request.name
+            if request.vnet.num_links == 0:
+                continue
+            emb = self.embeddings[name]
+            mapping = self._mappings[name]
+            for state in self.events.states:
+                status = self.activity_status(name, state)
+                if status == ActivityStatus.INACTIVE:
+                    continue
+                gate = self._make_gate(name, state, status)
+                self.gate[(name, state)] = gate
+                for lv in request.vnet.links:
+                    for ls in substrate.links:
+                        self.state_flows[(name, lv, ls, state)] = (
+                            model.continuous_var(
+                                f"xEs[{name}][{lv}@{ls}][s{state}]",
+                                lb=0.0,
+                                ub=1.0,
+                            )
+                        )
+                for lv in request.vnet.links:
+                    tail, head = lv
+                    src, dst = mapping[tail], mapping[head]
+                    for s in substrate.nodes:
+                        outflow = quicksum(
+                            self.state_flows[(name, lv, ls, state)]
+                            for ls in substrate.out_links(s)
+                        )
+                        inflow = quicksum(
+                            self.state_flows[(name, lv, ls, state)]
+                            for ls in substrate.in_links(s)
+                        )
+                        balance = LinExpr()
+                        if src != dst:
+                            if s == src:
+                                balance = gate.copy()
+                            elif s == dst:
+                                balance = -gate
+                        model.add_constr(
+                            outflow - inflow == balance,
+                            name=f"rflow[{name}][{lv}][{s}][s{state}]",
+                        )
+            del emb
+
+        # per-state link capacities, directly over the state flows
+        for state in self.events.states:
+            for ls in substrate.links:
+                usage = LinExpr()
+                for request in self.requests:
+                    name = request.name
+                    for lv in request.vnet.links:
+                        var = self.state_flows.get((name, lv, ls, state))
+                        if var is not None:
+                            usage.add_term(var, request.vnet.link_demand(lv))
+                if usage.terms:
+                    model.add_constr(
+                        usage <= substrate.link_capacity(ls),
+                        name=f"rcap[s{state}][{ls}]",
+                    )
+
+    def _make_gate(self, name: str, state: int, status: str) -> LinExpr:
+        """``z = x_R * Sigma(R, s_i)`` (McCormick when undecided)."""
+        x_embed = self.embeddings[name].x_embed
+        if status == ActivityStatus.ACTIVE:
+            # Sigma == 1 a priori
+            return x_embed.to_expr()
+        activity = self.activity_expr(name, state)
+        z = self.model.continuous_var(f"z[{name}][s{state}]", lb=0.0, ub=1.0)
+        self.model.add_constr(z <= x_embed, name=f"z1[{name}][s{state}]")
+        self.model.add_constr(z <= activity, name=f"z2[{name}][s{state}]")
+        self.model.add_constr(
+            z >= x_embed + activity - 1, name=f"z3[{name}][s{state}]"
+        )
+        return z.to_expr()
+
+    # ------------------------------------------------------------------
+    def solve_rerouting(self, backend: str = "highs", **kwargs) -> "ReroutingSchedule":
+        """Solve and return the re-routing-aware schedule."""
+        raw = self.solve_raw(backend=backend, **kwargs)
+        base = self.extract(raw)
+        per_state: dict[str, dict[int, dict[tuple, dict[tuple, float]]]] = {}
+        state_intervals: dict[int, Interval] = {}
+        if raw.has_solution:
+            times = {i: raw.value(self.t_event[i]) for i in self.events.events}
+            for state in self.events.states:
+                state_intervals[state] = Interval(
+                    min(times[state], times[state + 1]),
+                    max(times[state], times[state + 1]),
+                )
+            for (name, lv, ls, state), var in self.state_flows.items():
+                value = raw.value(var)
+                if value > 1e-7:
+                    per_state.setdefault(name, {}).setdefault(state, {}).setdefault(
+                        lv, {}
+                    )[ls] = min(value, 1.0)
+        return ReroutingSchedule(
+            model=self,
+            base=base,
+            per_state_flows=per_state,
+            state_intervals=state_intervals,
+            raw=raw,
+        )
+
+
+class ReroutingSchedule:
+    """A cSigma solution whose link flows vary per state.
+
+    ``base`` carries the usual schedule and node mappings (its static
+    ``link_flows`` are empty by construction); ``per_state_flows`` maps
+    ``request -> state -> vlink -> slink -> fraction``.
+    """
+
+    def __init__(
+        self,
+        model: ReroutingCSigmaModel,
+        base: TemporalSolution,
+        per_state_flows: dict,
+        state_intervals: dict[int, Interval],
+        raw,
+    ) -> None:
+        self.model = model
+        self.base = base
+        self.per_state_flows = per_state_flows
+        self.state_intervals = state_intervals
+        self.raw = raw
+
+    @property
+    def objective(self) -> float:
+        return self.base.objective
+
+    @property
+    def num_embedded(self) -> int:
+        return self.base.num_embedded
+
+    def routing_changes(self, request_name: str) -> int:
+        """How many times the request's routing differs between
+        consecutive active states (0 = effectively static)."""
+        states = sorted(self.per_state_flows.get(request_name, {}))
+        changes = 0
+        for a, b in zip(states, states[1:]):
+            if b == a + 1 and self.per_state_flows[request_name][a] != (
+                self.per_state_flows[request_name][b]
+            ):
+                changes += 1
+        return changes
+
+    def verify(self, tol: float = 1e-5) -> FeasibilityReport:
+        """Definition-2.1 check adapted to per-state flows.
+
+        Checks schedules/windows/node capacities via the base verifier
+        (with empty link flows), then per state: unit-flow conservation
+        for every active request's links and link capacities.
+        """
+        from repro.tvnep.feasibility import verify_solution
+
+        report = verify_solution(
+            self.base, tol=tol, check_windows=False, check_flows=False
+        )
+        if not self.raw.has_solution:
+            return report
+        substrate = self.model.substrate
+
+        for state, interval in self.state_intervals.items():
+            # which requests does the *solution* consider active here?
+            for request in self.model.requests:
+                name = request.name
+                entry = self.base[name]
+                if not entry.embedded or request.vnet.num_links == 0:
+                    continue
+                gate = self.model.gate.get((name, state))
+                active = (
+                    gate is not None and self.raw.value(gate) > 0.5
+                )
+                flows = self.per_state_flows.get(name, {}).get(state, {})
+                if not active:
+                    continue
+                mapping = entry.node_mapping
+                for lv in request.vnet.links:
+                    tail, head = lv
+                    src, dst = mapping[tail], mapping[head]
+                    lv_flows = flows.get(lv, {})
+                    for s in substrate.nodes:
+                        outflow = sum(
+                            lv_flows.get(ls, 0.0) for ls in substrate.out_links(s)
+                        )
+                        inflow = sum(
+                            lv_flows.get(ls, 0.0) for ls in substrate.in_links(s)
+                        )
+                        expected = 0.0
+                        if src != dst:
+                            expected = 1.0 if s == src else (-1.0 if s == dst else 0.0)
+                        if abs(outflow - inflow - expected) > tol:
+                            report.add(
+                                f"{name}: state {state} flow conservation "
+                                f"violated for {lv} at {s}"
+                            )
+            # link capacities per state
+            for ls in substrate.links:
+                usage = 0.0
+                for request in self.model.requests:
+                    name = request.name
+                    gate = self.model.gate.get((name, state))
+                    if gate is None or self.raw.value(gate) <= 0.5:
+                        continue
+                    flows = self.per_state_flows.get(name, {}).get(state, {})
+                    for lv in request.vnet.links:
+                        usage += request.vnet.link_demand(lv) * flows.get(
+                            lv, {}
+                        ).get(ls, 0.0)
+                if usage > substrate.link_capacity(ls) + tol:
+                    report.add(
+                        f"state {state}: link {ls} over capacity "
+                        f"({usage:.4f} > {substrate.link_capacity(ls):g})"
+                    )
+        return report

@@ -1,0 +1,140 @@
+"""The Sigma-Model and its explicit-state machinery (Sec. III-C).
+
+The Sigma-Model represents each request's resource allocations at every
+state *explicitly* through variables ``a_R(s_i, r) >= 0`` that are
+lower-bounded by the actual allocation whenever the request is active:
+
+    ``a_R(s_i, r) >= alloc(R, r) - M * (1 - Sigma(R, s_i))``      (7)/(8)
+
+with the per-state capacity constraint
+
+    ``sum_R a_R(s_i, r) <= c_S(r)``                                (9)
+
+The paper proves this relaxation strictly dominates the Delta-Model's:
+fractionally-smeared event assignments cannot hide allocations, because
+``Sigma(R, s_i)`` aggregates the assignment prefix.
+
+The explicit-state machinery is shared with the cSigma-Model via
+:class:`ExplicitStateMixin`; the two differ only in the event layout
+(``2|R|`` bijective events here, ``|R|+1`` compactified events there)
+and in the cSigma-specific reductions enabled by default.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.mip.expr import LinExpr, Variable
+from repro.network.request import Request
+from repro.network.substrate import SubstrateNetwork
+from repro.tvnep.base import ActivityStatus, ModelOptions, TemporalModelBase
+from repro.vnep.embedding_vars import NodeMapping
+
+__all__ = ["ExplicitStateMixin", "SigmaModel"]
+
+
+class ExplicitStateMixin:
+    """Explicit per-request state-allocation variables (Constraints 7-9).
+
+    Implements :meth:`TemporalModelBase._build_states` for both the
+    Sigma- and the cSigma-Model.  Honors the presolve state-space
+    reduction of Sec. IV-C via the base class's activity table:
+
+    * ``INACTIVE`` (request surely not running at the state) — no
+      variable, no constraint;
+    * ``ACTIVE`` (surely running) — the allocation expression is folded
+      directly into the capacity constraint (9), saving the variable
+      *and* tightening the relaxation;
+    * ``UNDECIDED`` — the full Constraint (7)/(8) gadget.
+    """
+
+    def _build_states(self) -> None:
+        model = self.model
+        substrate = self.substrate
+        #: ``a_R`` variables keyed by (request name, state, resource)
+        self.state_alloc: dict[tuple[str, int, object], Variable] = {}
+        #: total usage expression per (state, resource) — consumed by the
+        #: load-balancing objective (Sec. IV-E.3)
+        self.state_usage: dict[tuple[int, object], LinExpr] = {}
+
+        # cache each request's allocation expression per resource
+        alloc_cache: dict[tuple[str, object], LinExpr] = {}
+        for request in self.requests:
+            emb = self.embeddings[request.name]
+            for resource in substrate.resources:
+                expr = emb.alloc(resource)
+                if expr.terms:
+                    alloc_cache[(request.name, resource)] = expr
+
+        for state in self.events.states:
+            for resource in substrate.resources:
+                capacity = substrate.capacity(resource)
+                usage = LinExpr()
+                relevant = False
+                for request in self.requests:
+                    name = request.name
+                    alloc = alloc_cache.get((name, resource))
+                    if alloc is None:
+                        continue
+                    status = self.activity_status(name, state)
+                    if status == ActivityStatus.INACTIVE:
+                        continue
+                    relevant = True
+                    if status == ActivityStatus.ACTIVE:
+                        usage.add_expr(alloc)
+                        continue
+                    # UNDECIDED: full Constraint (7)/(8) gadget
+                    a = model.continuous_var(
+                        f"a[{name}][s{state}][{resource}]", lb=0.0
+                    )
+                    self.state_alloc[(name, state, resource)] = a
+                    big_m = self.embeddings[name].alloc_upper_bound(resource)
+                    activity = self.activity_expr(name, state)
+                    model.add_constr(
+                        a >= alloc - (1 - activity) * big_m,
+                        name=f"stateLB[{name}][s{state}][{resource}]",
+                    )
+                    usage.add_term(a, 1.0)
+                if relevant:
+                    self.state_usage[(state, resource)] = usage
+                    # Constraint (9)
+                    model.add_constr(
+                        usage <= capacity,
+                        name=f"cap[s{state}][{resource}]",
+                    )
+
+    def num_state_variables(self) -> int:
+        """How many ``a_R`` variables were actually created (after the
+        presolve reduction) — reported by the ablation benchmarks."""
+        return len(self.state_alloc)
+
+
+class SigmaModel(ExplicitStateMixin, TemporalModelBase):
+    """The (non-compact) Sigma-Model: ``2|R|`` events, explicit states.
+
+    By default this is the paper's *plain* Sigma-Model (no dependency
+    cuts, no reductions) so that the Figure 3/4 comparison measures what
+    the paper measured; pass ``options=ModelOptions()`` to enable all
+    strengthening features on the full layout.
+    """
+
+    layout = "full"
+    formulation_name = "sigma"
+
+    def __init__(
+        self,
+        substrate: SubstrateNetwork,
+        requests: Sequence[Request],
+        fixed_mappings: Mapping[str, NodeMapping] | None = None,
+        force_embedded: Sequence[str] = (),
+        force_rejected: Sequence[str] = (),
+        options: ModelOptions | None = None,
+    ) -> None:
+        super().__init__(
+            substrate,
+            requests,
+            fixed_mappings=fixed_mappings,
+            force_embedded=force_embedded,
+            force_rejected=force_rejected,
+            options=options or ModelOptions.plain(),
+        )

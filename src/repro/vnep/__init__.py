@@ -1,0 +1,31 @@
+"""Static VNEP building blocks (Sec. II-A of the paper).
+
+* :class:`EmbeddingVariables` — per-request Table III variables,
+  Constraints (1)-(2) and the Table V allocation macros; reused by every
+  temporal model.
+* :class:`StaticVNEPModel` — the classic time-less VNEP as a MIP.
+* Heuristics — random (the paper's methodology) and capacity-aware node
+  mappings plus shortest-path link routing.
+"""
+
+from repro.vnep.embedding_vars import EmbeddingVariables, NodeMapping
+from repro.vnep.heuristics import (
+    derive_mappings,
+    greedy_node_mapping,
+    link_mapping_usage,
+    random_node_mapping,
+    shortest_path_link_mapping,
+)
+from repro.vnep.static_model import StaticEmbeddingResult, StaticVNEPModel
+
+__all__ = [
+    "EmbeddingVariables",
+    "NodeMapping",
+    "StaticVNEPModel",
+    "StaticEmbeddingResult",
+    "random_node_mapping",
+    "greedy_node_mapping",
+    "shortest_path_link_mapping",
+    "link_mapping_usage",
+    "derive_mappings",
+]

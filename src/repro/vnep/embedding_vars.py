@@ -1,0 +1,209 @@
+"""Embedding variables and constraints shared by all (T)VNEP models.
+
+For each request this module creates the paper's Table III variables —
+
+* ``x_R ∈ B`` — whether the request is embedded,
+* ``x_V : V_R x V_S -> B`` — virtual-node placement,
+* ``x_E : E_R x E_S -> [0, 1]`` — splittable virtual-link flows,
+
+wires up Constraint (1) (node mapping iff embedded) and Constraint (2)
+(unit-flow construction per virtual link), and exposes the Table V
+allocation macros ``alloc_V`` / ``alloc_E`` as linear expressions.
+
+When a fixed a-priori node mapping is supplied (the evaluation
+methodology of Sec. VI-A, and Constraint (23) of the greedy algorithm),
+the placement variables are bounded above by the mapping's indicator,
+i.e. a virtual node may only go where the mapping allows — and since
+Constraint (1) requires exactly one placement iff embedded, the mapping
+is enforced exactly whenever the request is accepted.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+
+from repro.exceptions import ModelingError
+from repro.mip.expr import LinExpr, quicksum
+from repro.mip.model import Model
+from repro.network.request import Request
+from repro.network.substrate import SubstrateNetwork
+
+__all__ = ["EmbeddingVariables", "NodeMapping"]
+
+#: a fixed node mapping: virtual node -> substrate node
+NodeMapping = Mapping[Hashable, Hashable]
+
+
+class EmbeddingVariables:
+    """Per-request embedding variables plus the Table V macros.
+
+    Parameters
+    ----------
+    model:
+        Model the variables are created in.
+    substrate:
+        The substrate network ``S``.
+    request:
+        The request ``R``.
+    fixed_mapping:
+        Optional ``virtual node -> substrate node`` assignment.  When
+        given, only the corresponding placement variables are created
+        (all others are implicitly zero).
+    force_embedded:
+        Fix ``x_R = 1`` (used by objectives over a fixed request set and
+        by Constraint (24) of the greedy algorithm).
+    force_rejected:
+        Fix ``x_R = 0`` (Constraint (25) of the greedy algorithm).
+    build_link_flows:
+        Create the static ``x_E`` variables and flow constraints
+        (default).  The re-routing model variant disables this and
+        builds its own per-state flows instead
+        (:mod:`repro.tvnep.rerouting`); with it off, ``alloc_link``
+        returns the empty expression.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        substrate: SubstrateNetwork,
+        request: Request,
+        fixed_mapping: NodeMapping | None = None,
+        force_embedded: bool = False,
+        force_rejected: bool = False,
+        build_link_flows: bool = True,
+    ) -> None:
+        if force_embedded and force_rejected:
+            raise ModelingError(
+                f"{request.name}: cannot force both embedded and rejected"
+            )
+        self.model = model
+        self.substrate = substrate
+        self.request = request
+        name = request.name
+        vnet = request.vnet
+
+        if fixed_mapping is not None:
+            missing = [v for v in vnet.nodes if v not in fixed_mapping]
+            if missing:
+                raise ModelingError(
+                    f"{name}: fixed mapping misses virtual nodes {missing}"
+                )
+            for v, s in fixed_mapping.items():
+                if not substrate.has_node(s):
+                    raise ModelingError(
+                        f"{name}: mapping target {s!r} is not a substrate node"
+                    )
+        self.fixed_mapping = dict(fixed_mapping) if fixed_mapping else None
+
+        # x_R
+        self.x_embed = model.binary_var(f"xR[{name}]")
+        if force_embedded:
+            model.fix_var(self.x_embed, 1.0)
+        if force_rejected:
+            model.fix_var(self.x_embed, 0.0)
+
+        # x_V — only over admissible placements
+        self.x_node: dict[tuple[Hashable, Hashable], object] = {}
+        for v in vnet.nodes:
+            if self.fixed_mapping is not None:
+                candidates = [self.fixed_mapping[v]]
+            else:
+                candidates = list(substrate.nodes)
+            for s in candidates:
+                self.x_node[(v, s)] = model.binary_var(f"xV[{name}][{v}->{s}]")
+
+        # Constraint (1): sum_s x_V(v, s) = x_R
+        for v in vnet.nodes:
+            placements = quicksum(
+                self.x_node[(v, s)]
+                for s in substrate.nodes
+                if (v, s) in self.x_node
+            )
+            model.add_constr(
+                placements == self.x_embed, name=f"map[{name}][{v}]"
+            )
+
+        # x_E
+        self.x_link: dict[tuple, object] = {}
+        if not build_link_flows:
+            return
+        for lv in vnet.links:
+            for ls in substrate.links:
+                self.x_link[(lv, ls)] = model.continuous_var(
+                    f"xE[{name}][{lv}@{ls}]", lb=0.0, ub=1.0
+                )
+
+        # Constraint (2): per virtual link, per substrate node,
+        # outflow - inflow = x_V(head_placed_here) ... constructing a unit
+        # flow from the tail's host to the head's host.
+        for lv in vnet.links:
+            tail, head = lv
+            for s in substrate.nodes:
+                outflow = quicksum(
+                    self.x_link[(lv, ls)] for ls in substrate.out_links(s)
+                )
+                inflow = quicksum(
+                    self.x_link[(lv, ls)] for ls in substrate.in_links(s)
+                )
+                balance = self._placement_expr(tail, s) - self._placement_expr(
+                    head, s
+                )
+                model.add_constr(
+                    outflow - inflow == balance,
+                    name=f"flow[{name}][{tail}->{head}][{s}]",
+                )
+
+    # ------------------------------------------------------------------
+    def _placement_expr(self, v: Hashable, s: Hashable) -> LinExpr:
+        """``x_V(v, s)`` as an expression (0 when inadmissible)."""
+        var = self.x_node.get((v, s))
+        if var is None:
+            return LinExpr()
+        return var.to_expr()
+
+    # ------------------------------------------------------------------
+    # Table V macros
+    # ------------------------------------------------------------------
+    def alloc_node(self, s: Hashable) -> LinExpr:
+        """``alloc_V(R, s) = sum_v c_R(v) * x_V(v, s)``."""
+        expr = LinExpr()
+        for v in self.request.vnet.nodes:
+            var = self.x_node.get((v, s))
+            if var is not None:
+                expr.add_term(var, self.request.vnet.node_demand(v))
+        return expr
+
+    def alloc_link(self, ls: tuple) -> LinExpr:
+        """``alloc_E(R, ls) = sum_lv c_R(lv) * x_E(lv, ls)``.
+
+        Empty when the static link flows were not built (re-routing
+        variant).
+        """
+        expr = LinExpr()
+        for lv in self.request.vnet.links:
+            var = self.x_link.get((lv, ls))
+            if var is not None:
+                expr.add_term(var, self.request.vnet.link_demand(lv))
+        return expr
+
+    def alloc(self, resource: Hashable) -> LinExpr:
+        """``alloc(R, r)`` for a node or link resource."""
+        if self.substrate.has_link(resource):  # type: ignore[arg-type]
+            return self.alloc_link(resource)  # type: ignore[arg-type]
+        return self.alloc_node(resource)
+
+    def alloc_upper_bound(self, resource: Hashable) -> float:
+        """A safe constant upper bound on ``alloc(R, r)``.
+
+        Used as the big-M coefficient in the Delta-/Sigma-Model
+        conditional constraints.  The substrate capacity is a valid
+        bound for any solution satisfying the capacity constraints, per
+        the paper's Constraints (3)-(6); taking the min with the total
+        demand tightens it further.
+        """
+        cap = self.substrate.capacity(resource)
+        if self.substrate.has_link(resource):  # type: ignore[arg-type]
+            demand = self.request.vnet.total_link_demand()
+        else:
+            demand = self.request.vnet.total_node_demand()
+        return min(cap, demand) if demand > 0 else 0.0

@@ -1,0 +1,55 @@
+"""Arrival processes for synthetic workloads.
+
+The paper draws request arrivals from a Poisson process with
+exponentially distributed inter-arrival times of one hour (Sec. VI-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["poisson_arrivals", "uniform_arrivals", "batch_arrivals"]
+
+
+def poisson_arrivals(
+    count: int,
+    mean_interarrival: float,
+    rng: np.random.Generator | int | None = None,
+    start: float = 0.0,
+) -> np.ndarray:
+    """``count`` arrival times of a Poisson process.
+
+    Inter-arrival gaps are i.i.d. exponential with the given mean; the
+    first request arrives after one gap from ``start`` (so arrival
+    times are strictly increasing almost surely).
+    """
+    if count < 1:
+        raise ValidationError("need at least one arrival")
+    if mean_interarrival <= 0:
+        raise ValidationError("mean inter-arrival time must be > 0")
+    rng = np.random.default_rng(rng)
+    gaps = rng.exponential(mean_interarrival, size=count)
+    return start + np.cumsum(gaps)
+
+
+def uniform_arrivals(
+    count: int,
+    horizon: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """``count`` sorted arrivals drawn uniformly over ``[0, horizon]``."""
+    if count < 1:
+        raise ValidationError("need at least one arrival")
+    if horizon <= 0:
+        raise ValidationError("horizon must be > 0")
+    rng = np.random.default_rng(rng)
+    return np.sort(rng.uniform(0.0, horizon, size=count))
+
+
+def batch_arrivals(count: int, batch_time: float = 0.0) -> np.ndarray:
+    """All requests arrive simultaneously (stress-test pattern)."""
+    if count < 1:
+        raise ValidationError("need at least one arrival")
+    return np.full(count, float(batch_time))

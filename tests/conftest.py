@@ -1,0 +1,86 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# solver-in-the-loop property tests are slow per example; keep example
+# counts moderate and silence the "too slow" health check
+settings.register_profile(
+    "solver",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.register_profile(
+    "default",
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("default")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def single_node_substrate():
+    from repro.network import SubstrateNetwork
+
+    sub = SubstrateNetwork("one")
+    sub.add_node("s", 1.0)
+    return sub
+
+
+@pytest.fixture
+def line3_substrate():
+    from repro.network import line_substrate
+
+    return line_substrate(3, node_capacity=3.0, link_capacity=2.0)
+
+
+def make_unit_request(name: str, t_s: float, t_e: float, d: float, demand: float = 1.0):
+    """A single-node request (the paper's Sec. III-B example shape)."""
+    from repro.network import Request, TemporalSpec, VirtualNetwork
+
+    vnet = VirtualNetwork(name)
+    vnet.add_node("v", demand)
+    return Request(vnet, TemporalSpec(t_s, t_e, d))
+
+
+def make_star_request(
+    name: str,
+    t_s: float,
+    t_e: float,
+    d: float,
+    leaves: int = 2,
+    node_demand: float = 1.0,
+    link_demand: float = 1.0,
+    direction: str = "to_center",
+):
+    from repro.network import Request, TemporalSpec
+    from repro.network.topologies import star
+
+    vnet = star(
+        name,
+        leaves=leaves,
+        node_demand=node_demand,
+        link_demand=link_demand,
+        direction=direction,
+    )
+    return Request(vnet, TemporalSpec(t_s, t_e, d))
+
+
+@pytest.fixture
+def unit_request_factory():
+    return make_unit_request
+
+
+@pytest.fixture
+def star_request_factory():
+    return make_star_request

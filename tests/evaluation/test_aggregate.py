@@ -1,0 +1,92 @@
+"""Tests of record aggregation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.evaluation import DistributionSummary, group_records, series_over_flexibility, summarize
+from repro.evaluation.runner import RunRecord
+
+
+def record(flex, algorithm="csigma", runtime=1.0, gap=0.0):
+    return RunRecord(
+        scenario="s",
+        seed=0,
+        flexibility=flex,
+        algorithm=algorithm,
+        objective_name="access_control",
+        runtime=runtime,
+        gap=gap,
+    )
+
+
+class TestDistributionSummary:
+    def test_quartiles(self):
+        summary = DistributionSummary.of([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.median == 3.0
+        assert summary.q1 == 2.0
+        assert summary.q3 == 4.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.mean == 3.0
+        assert summary.count == 5
+        assert summary.num_infinite == 0
+
+    def test_infinite_values_counted_separately(self):
+        summary = DistributionSummary.of([1.0, math.inf, 3.0])
+        assert summary.num_infinite == 1
+        assert summary.median == 2.0
+
+    def test_all_infinite(self):
+        summary = DistributionSummary.of([math.inf, math.inf])
+        assert summary.num_infinite == 2
+        assert math.isnan(summary.median)
+
+    def test_nan_values_dropped(self):
+        summary = DistributionSummary.of([math.nan, 2.0])
+        assert summary.count == 1
+        assert summary.median == 2.0
+
+    def test_render(self):
+        summary = DistributionSummary.of([1.0, 2.0, 3.0])
+        text = summary.render()
+        assert "2" in text and "[" in text
+
+    def test_render_with_inf_annotation(self):
+        summary = DistributionSummary.of([1.0, math.inf])
+        assert "(1/2 inf)" in summary.render()
+
+    def test_render_empty(self):
+        assert DistributionSummary.of([]).render() == "-"
+
+
+class TestGrouping:
+    def test_group_records(self):
+        records = [record(0.0), record(0.0), record(1.0)]
+        groups = group_records(records, key=lambda r: (r.flexibility,))
+        assert len(groups[(0.0,)]) == 2
+        assert len(groups[(1.0,)]) == 1
+
+    def test_summarize(self):
+        records = [record(0.0, runtime=1.0), record(0.0, runtime=3.0)]
+        summary = summarize(records, lambda r: r.runtime)
+        assert summary.mean == 2.0
+
+    def test_series_over_flexibility(self):
+        records = [
+            record(0.0, "csigma", runtime=1.0),
+            record(1.0, "csigma", runtime=2.0),
+            record(0.0, "delta", runtime=9.0),
+        ]
+        series = series_over_flexibility(
+            records, lambda r: r.runtime, algorithm="csigma"
+        )
+        assert list(series) == [0.0, 1.0]
+        assert series[0.0].median == 1.0
+
+    def test_series_all_algorithms(self):
+        records = [record(0.0, "a"), record(0.0, "b")]
+        series = series_over_flexibility(records, lambda r: r.runtime)
+        assert series[0.0].count == 2

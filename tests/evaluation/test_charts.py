@@ -1,0 +1,83 @@
+"""Tests of the plain-text chart rendering."""
+
+from __future__ import annotations
+
+import math
+
+from repro.evaluation.aggregate import DistributionSummary
+from repro.evaluation.charts import bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        text = bar_chart({"a": 1.0, "b": 2.0}, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1" in lines[1] and "2" in lines[2]
+        # longer value gets the longer bar
+        assert lines[2].count("█") >= lines[1].count("█")
+
+    def test_nan_and_inf_markers(self):
+        text = bar_chart({"x": math.nan, "y": math.inf, "z": 1.0})
+        assert "-" in text
+        assert "inf" in text
+
+    def test_log_scale_annotated(self):
+        text = bar_chart({"a": 0.01, "b": 100.0}, log_scale=True)
+        assert "log scale" in text
+        # on a log scale the small value still gets a visible position
+        assert "0.01" in text
+
+    def test_zero_values_safe_on_log_scale(self):
+        text = bar_chart({"a": 0.0, "b": 10.0}, log_scale=True)
+        assert "0" in text
+
+    def test_empty_mapping(self):
+        assert bar_chart({}) == ""
+
+    def test_equal_values_full_bars(self):
+        text = bar_chart({"a": 5.0, "b": 5.0})
+        assert text.splitlines()[0].count("█") > 0
+
+
+class TestSeriesChart:
+    def make_series(self):
+        return {
+            "delta": {
+                0.0: DistributionSummary.of([1.0, 2.0]),
+                1.0: DistributionSummary.of([10.0]),
+            },
+            "csigma": {
+                0.0: DistributionSummary.of([0.1]),
+                1.0: DistributionSummary.of([0.2, 0.3]),
+            },
+        }
+
+    def test_layout(self):
+        text = series_chart(self.make_series(), title="Fig")
+        lines = text.splitlines()
+        assert lines[0] == "Fig"
+        assert "flex 0:" in text and "flex 1:" in text
+        assert "delta" in text and "csigma" in text
+
+    def test_log_scale(self):
+        text = series_chart(self.make_series(), log_scale=True)
+        assert "log scale" in text
+
+    def test_missing_cell_dashed(self):
+        series = {"only": {0.0: DistributionSummary.of([1.0])},
+                  "gappy": {1.0: DistributionSummary.of([2.0])}}
+        text = series_chart(series)
+        assert "│ -" in text
+
+    def test_all_nan_series(self):
+        series = {"empty": {0.0: DistributionSummary.of([])}}
+        text = series_chart(series, title="X")
+        assert "no finite data" in text
+
+    def test_infinite_annotations_preserved(self):
+        series = {
+            "gappy": {0.0: DistributionSummary.of([1.0, math.inf])},
+        }
+        text = series_chart(series)
+        assert "(1/2 inf)" in text

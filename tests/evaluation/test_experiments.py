@@ -1,0 +1,120 @@
+"""End-to-end smoke of the figure harness (quick configuration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import Evaluation, EvaluationConfig
+
+
+@pytest.fixture(scope="module")
+def evaluation():
+    config = EvaluationConfig(
+        seeds=(0,),
+        flexibilities=(0.0, 1.0),
+        time_limit=20.0,
+        num_requests=3,
+    )
+    ev = Evaluation(config)
+    ev.run_all()
+    return ev
+
+
+class TestSweeps:
+    def test_access_sweep_counts(self, evaluation):
+        # 1 seed x 2 flexibilities x 3 models
+        assert len(evaluation.access_records) == 6
+        assert all(r.verified_feasible for r in evaluation.access_records)
+
+    def test_greedy_sweep_counts(self, evaluation):
+        assert len(evaluation.greedy_records) == 2
+
+    def test_objective_sweep_runs_on_accepted_sets(self, evaluation):
+        for record in evaluation.objective_records:
+            assert record.objective_name in (
+                "max_earliness",
+                "balance_node_load",
+                "disable_links",
+            )
+            assert record.solved
+
+    def test_accepted_sets_recorded(self, evaluation):
+        assert (0, 0.0) in evaluation.accepted_sets
+        assert (0, 1.0) in evaluation.accepted_sets
+
+    def test_sweeps_are_cached(self, evaluation):
+        before = len(evaluation.access_records)
+        evaluation.run_access_control()
+        assert len(evaluation.access_records) == before
+
+
+class TestFigures:
+    def test_every_figure_renders(self, evaluation):
+        for figure in (
+            evaluation.figure3_runtime,
+            evaluation.figure4_gap,
+            evaluation.figure5_objective_runtime,
+            evaluation.figure6_objective_gap,
+            evaluation.figure7_greedy_performance,
+            evaluation.figure8_accepted,
+            evaluation.figure9_improvement,
+        ):
+            text = figure()
+            assert "flex" in text
+            assert len(text.splitlines()) >= 4
+
+    def test_render_all_contains_all_figures(self, evaluation):
+        text = evaluation.render_all()
+        for number in range(3, 10):
+            assert f"Figure {number}" in text
+
+    def test_figure9_baseline_is_zero(self, evaluation):
+        text = evaluation.figure9_improvement()
+        zero_row = [line for line in text.splitlines() if line.startswith("0 ")]
+        assert zero_row and "0.0%" in zero_row[0]
+
+
+class TestConfig:
+    def test_quick_profile(self):
+        config = EvaluationConfig.quick()
+        assert config.scale == "small"
+        assert len(config.seeds) == 2
+
+    def test_paper_profile(self):
+        config = EvaluationConfig.paper()
+        assert config.scale == "paper"
+        assert len(config.seeds) == 24
+        assert len(config.flexibilities) == 11
+        assert config.time_limit == 3600.0
+
+    def test_with_models(self):
+        config = EvaluationConfig().with_models("csigma")
+        assert config.models == ("csigma",)
+
+    def test_unknown_scale_rejected(self):
+        from dataclasses import replace
+
+        from repro.exceptions import ValidationError
+
+        config = replace(EvaluationConfig(), scale="galactic")
+        with pytest.raises(ValidationError):
+            config.make_scenario(0)
+
+
+class TestResume:
+    def test_store_resume_skips_solved_cells(self, tmp_path):
+        config = EvaluationConfig(
+            seeds=(0,), flexibilities=(0.0,), time_limit=20.0, num_requests=3
+        )
+        path = str(tmp_path / "records.jsonl")
+        first = Evaluation(config, store_path=path)
+        first.run_all()
+        resumed = Evaluation(config, store_path=path)
+        resumed.run_all()
+        assert len(resumed.access_records) == len(first.access_records)
+        assert resumed.accepted_sets == first.accepted_sets
+        # resumed records truly came from disk: runtimes are identical
+        assert [r.runtime for r in resumed.access_records] == [
+            r.runtime for r in first.access_records
+        ]
+        assert resumed.figure3_runtime() == first.figure3_runtime()

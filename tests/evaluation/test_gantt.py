@@ -1,0 +1,154 @@
+"""Tests of the Gantt chart and utilization report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.gantt import render_gantt, utilization_report
+from repro.network import Request, SubstrateNetwork, TemporalSpec, VirtualNetwork
+from repro.tvnep import ScheduledRequest, TemporalSolution
+
+
+def unit_request(name, t_s, t_e, d, demand=1.0):
+    v = VirtualNetwork(name)
+    v.add_node("v", demand)
+    return Request(v, TemporalSpec(t_s, t_e, d))
+
+
+def solution(entries):
+    sub = SubstrateNetwork()
+    sub.add_node("s", 2.0)
+    return TemporalSolution(sub, entries)
+
+
+def entry(name, t_s, t_e, d, start=None, end=None, embedded=True, demand=1.0):
+    request = unit_request(name, t_s, t_e, d, demand)
+    return ScheduledRequest(
+        request=request,
+        embedded=embedded,
+        start=start if start is not None else t_s,
+        end=end if end is not None else t_s + d,
+        node_mapping={"v": "s"} if embedded else {},
+    )
+
+
+class TestGantt:
+    def test_embedded_bar_and_window_dots(self):
+        sol = solution({"A": entry("A", 0, 10, 4, start=2, end=6)})
+        text = render_gantt(sol, width=40)
+        row = [line for line in text.splitlines() if line.startswith("A")][0]
+        assert "█" in row
+        assert "·" in row
+        assert "[2.00, 6.00]" in row
+
+    def test_rejected_marked(self):
+        sol = solution(
+            {
+                "A": entry("A", 0, 4, 4),
+                "B": entry("B", 0, 4, 4, embedded=False),
+            }
+        )
+        text = render_gantt(sol)
+        assert "(rejected)" in text
+
+    def test_rejected_hidden_when_asked(self):
+        sol = solution({"B": entry("B", 0, 4, 4, embedded=False)})
+        text = render_gantt(sol, show_rejected=False)
+        assert "(rejected)" not in text
+
+    def test_rows_sorted_by_start(self):
+        sol = solution(
+            {
+                "late": entry("late", 0, 10, 2, start=6, end=8),
+                "early": entry("early", 0, 10, 2, start=1, end=3),
+            }
+        )
+        lines = render_gantt(sol).splitlines()
+        assert lines[1].startswith("early")
+        assert lines[2].startswith("late")
+
+    def test_empty_solution(self):
+        assert "(empty" in render_gantt(solution({}))
+
+    def test_header_shows_horizon(self):
+        sol = solution({"A": entry("A", 1, 9, 2)})
+        header = render_gantt(sol).splitlines()[0]
+        assert "1.00" in header and "9.00" in header
+
+
+class TestUtilization:
+    def test_peak_and_average(self):
+        # two back-to-back unit requests on a cap-2 node:
+        # peak 1.0 (50%), average 1.0 over [0,4]
+        sol = solution(
+            {
+                "A": entry("A", 0, 2, 2),
+                "B": entry("B", 2, 4, 2, start=2, end=4),
+            }
+        )
+        text = utilization_report(sol)
+        assert "50%" in text
+        row = [l for l in text.splitlines() if l.startswith("s ")][0]
+        assert "1.00" in row
+
+    def test_overlapping_requests_peak(self):
+        sol = solution(
+            {
+                "A": entry("A", 0, 4, 4),
+                "B": entry("B", 0, 4, 4),
+            }
+        )
+        text = utilization_report(sol)
+        assert "100%" in text  # 2.0 of 2.0 capacity
+
+    def test_nothing_embedded(self):
+        sol = solution({"A": entry("A", 0, 4, 4, embedded=False)})
+        assert "(nothing embedded)" in utilization_report(sol)
+
+    def test_top_limits_rows(self):
+        sub = SubstrateNetwork()
+        sub.add_node("s1", 2.0)
+        sub.add_node("s2", 2.0)
+        entries = {}
+        for i, host in enumerate(("s1", "s2")):
+            request = unit_request(f"R{i}", 0, 4, 4)
+            entries[f"R{i}"] = ScheduledRequest(
+                request=request,
+                embedded=True,
+                start=0,
+                end=4,
+                node_mapping={"v": host},
+            )
+        sol = TemporalSolution(sub, entries)
+        text = utilization_report(sol, top=1)
+        data_rows = [
+            l
+            for l in text.splitlines()[3:]
+            if l.strip() and not l.startswith("-")
+        ]
+        assert len(data_rows) == 1
+
+    def test_solver_solution_renders(self):
+        from repro.tvnep import CSigmaModel
+        from repro.workloads import small_scenario
+
+        scenario = small_scenario(0, num_requests=3).with_flexibility(1.0)
+        sol = CSigmaModel(
+            scenario.substrate, scenario.requests, fixed_mappings=scenario.node_mappings
+        ).solve(time_limit=30)
+        assert "utilization" in utilization_report(sol)
+        assert render_gantt(sol)
+
+
+class TestSliverSnapping:
+    def test_back_to_back_with_solver_noise_reads_100_percent(self):
+        """1e-13 schedule slivers must not inflate the reported peak."""
+        sol = solution(
+            {
+                "A": entry("A", 0, 2.0 + 1e-13, 2.0, start=0.0, end=2.0 + 1e-13),
+                "B": entry("B", 0, 4, 2, start=2.0 - 1e-13, end=4.0 - 1e-13),
+            }
+        )
+        text = utilization_report(sol)
+        row = [l for l in text.splitlines() if l.startswith("s ")][0]
+        assert "50%" in row  # peak 1.0 of cap 2.0, not 2.0

@@ -1,0 +1,67 @@
+"""Tests of the evaluation metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.evaluation import (
+    objective_gap,
+    percent,
+    relative_improvement,
+    relative_performance,
+)
+
+
+class TestObjectiveGap:
+    def test_zero_gap(self):
+        assert objective_gap(10.0, 10.0) == 0.0
+
+    def test_positive_gap(self):
+        assert objective_gap(10.0, 11.0) == pytest.approx(0.1)
+
+    def test_no_incumbent_is_infinite(self):
+        assert math.isinf(objective_gap(math.nan, 5.0))
+        assert math.isinf(objective_gap(5.0, math.nan))
+        assert math.isinf(objective_gap(5.0, math.inf))
+
+
+class TestRelativePerformance:
+    def test_matching_heuristic(self):
+        assert relative_performance(10.0, 10.0) == 0.0
+
+    def test_five_percent_short(self):
+        assert relative_performance(9.5, 10.0) == pytest.approx(0.05)
+
+    def test_heuristic_beats_timed_out_incumbent(self):
+        assert relative_performance(11.0, 10.0) == pytest.approx(-0.1)
+
+    def test_zero_optimum(self):
+        assert relative_performance(0.0, 0.0) == 0.0
+        assert math.isinf(relative_performance(1.0, 0.0))
+
+    def test_nan_propagates(self):
+        assert math.isnan(relative_performance(math.nan, 1.0))
+
+
+class TestRelativeImprovement:
+    def test_improvement(self):
+        assert relative_improvement(12.0, 10.0) == pytest.approx(0.2)
+
+    def test_no_improvement(self):
+        assert relative_improvement(10.0, 10.0) == 0.0
+
+    def test_zero_baseline(self):
+        assert relative_improvement(0.0, 0.0) == 0.0
+        assert math.isinf(relative_improvement(5.0, 0.0))
+
+    def test_nan_propagates(self):
+        assert math.isnan(relative_improvement(1.0, math.nan))
+
+
+class TestPercent:
+    def test_formatting(self):
+        assert percent(0.123) == "12.3%"
+        assert percent(math.inf) == "inf"
+        assert percent(math.nan) == "nan"

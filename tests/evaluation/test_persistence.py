@@ -1,0 +1,100 @@
+"""Tests of evaluation record persistence."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.evaluation.persistence import (
+    RecordStore,
+    append_record,
+    load_records,
+    save_records,
+)
+from repro.evaluation.runner import RunRecord
+from repro.exceptions import ValidationError
+
+
+def record(seed=0, flex=0.0, algorithm="csigma", objective=41.5, gap=0.0):
+    return RunRecord(
+        scenario=f"s{seed}",
+        seed=seed,
+        flexibility=flex,
+        algorithm=algorithm,
+        objective_name="access_control",
+        objective=objective,
+        gap=gap,
+        runtime=1.25,
+        num_embedded=3,
+        num_requests=6,
+        node_count=17,
+        status="solved",
+        verified_feasible=True,
+        model_stats={"variables": 100},
+    )
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = str(tmp_path / "records.jsonl")
+        originals = [record(0, 0.0), record(0, 1.0), record(1, 0.0, "delta")]
+        assert save_records(originals, path) == 3
+        restored = load_records(path)
+        assert restored == originals
+
+    def test_non_finite_values_survive(self, tmp_path):
+        path = str(tmp_path / "records.jsonl")
+        originals = [
+            record(objective=math.nan, gap=math.inf),
+        ]
+        save_records(originals, path)
+        restored = load_records(path)[0]
+        assert math.isnan(restored.objective)
+        assert math.isinf(restored.gap)
+
+    def test_append_creates_header_once(self, tmp_path):
+        path = str(tmp_path / "records.jsonl")
+        append_record(record(0), path)
+        append_record(record(1), path)
+        assert len(load_records(path)) == 2
+        with open(path) as fh:
+            assert sum("tvnep-records" in line for line in fh) == 1
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "something"}\n')
+        with pytest.raises(ValidationError):
+            load_records(str(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_records(str(path)) == []
+
+
+class TestRecordStore:
+    def test_resume_semantics(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = RecordStore(path)
+        assert len(store) == 0
+        assert not store.has(0, 0.0, "csigma")
+        store.add(record(0, 0.0))
+        assert store.has(0, 0.0, "csigma")
+        assert not store.has(0, 1.0, "csigma")
+        assert not store.has(0, 0.0, "delta")
+
+    def test_reload_preserves_index(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = RecordStore(path)
+        store.add(record(3, 1.5, "sigma"))
+        reopened = RecordStore(path)
+        assert len(reopened) == 1
+        assert reopened.has(3, 1.5, "sigma")
+
+    def test_distinct_objectives_are_distinct_cells(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = RecordStore(path)
+        r = record()
+        store.add(r)
+        assert not store.has(r.seed, r.flexibility, r.algorithm, "max_earliness")

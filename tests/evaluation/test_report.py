@@ -1,0 +1,65 @@
+"""Tests of the text rendering helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.evaluation import DistributionSummary, render_flexibility_figure, render_table
+from repro.evaluation.report import format_value
+
+
+class TestFormatValue:
+    def test_plain(self):
+        assert format_value(1.23456) == "1.23"
+
+    def test_nan_and_inf(self):
+        assert format_value(math.nan) == "-"
+        assert format_value(math.inf) == "inf"
+
+    def test_custom_format(self):
+        assert format_value(0.5, "{:.0%}") == "50%"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(
+            ["a", "long header"],
+            [["1", "2"], ["333", "4"]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long header" in lines[1]
+        # all rows same width
+        assert len(set(len(line) for line in lines[2:])) <= 2
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["1", "2"]])
+
+    def test_no_title(self):
+        text = render_table(["h"], [["v"]])
+        assert text.startswith("h")
+
+
+class TestRenderFigure:
+    def test_series_layout(self):
+        summary0 = DistributionSummary.of([1.0, 2.0])
+        summary1 = DistributionSummary.of([3.0])
+        text = render_flexibility_figure(
+            "Fig X",
+            {"modelA": {0.0: summary0, 1.0: summary1}, "modelB": {0.0: summary0}},
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig X"
+        assert "modelA" in lines[1] and "modelB" in lines[1]
+        assert len(lines) == 2 + 1 + 2  # title, header, separator, 2 rows
+
+    def test_missing_cells_dashed(self):
+        summary = DistributionSummary.of([1.0])
+        text = render_flexibility_figure(
+            "F", {"a": {0.0: summary}, "b": {1.0: summary}}
+        )
+        assert "-" in text.splitlines()[-1]

@@ -1,0 +1,75 @@
+"""Tests of the single-run execution layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.evaluation import MODEL_REGISTRY, run_exact, run_greedy
+from repro.workloads import small_scenario
+
+
+@pytest.fixture(scope="module")
+def tiny_scenario():
+    return small_scenario(0, num_requests=3, leaves=1, grid=(2, 2)).with_flexibility(1.0)
+
+
+class TestRunExact:
+    def test_record_fields(self, tiny_scenario):
+        record, solution = run_exact(tiny_scenario, algorithm="csigma", time_limit=30)
+        assert record.algorithm == "csigma"
+        assert record.objective_name == "access_control"
+        assert record.flexibility == 1.0
+        assert record.num_requests == 3
+        assert record.solved
+        assert record.verified_feasible
+        assert record.model_stats["variables"] > 0
+        assert solution.model_name == "csigma"
+
+    def test_all_registered_models_run(self, tiny_scenario):
+        objectives = {}
+        for name in MODEL_REGISTRY:
+            record, _ = run_exact(tiny_scenario, algorithm=name, time_limit=30)
+            assert record.proved_optimal
+            objectives[name] = record.objective
+        values = list(objectives.values())
+        assert max(values) - min(values) < 1e-5
+
+    def test_unknown_algorithm_rejected(self, tiny_scenario):
+        with pytest.raises(ValidationError):
+            run_exact(tiny_scenario, algorithm="magic")
+
+    def test_unknown_objective_rejected(self, tiny_scenario):
+        with pytest.raises(ValidationError):
+            run_exact(tiny_scenario, objective="world_peace")
+
+    def test_fixed_objective_with_forced_set(self, tiny_scenario):
+        base_record, base_solution = run_exact(
+            tiny_scenario, algorithm="csigma", time_limit=30
+        )
+        accepted = tuple(base_solution.embedded_names())
+        if not accepted:
+            pytest.skip("nothing accepted in the tiny scenario")
+        scenario = tiny_scenario.subset(accepted)
+        record, _ = run_exact(
+            scenario,
+            algorithm="csigma",
+            objective="max_earliness",
+            force_embedded=accepted,
+            time_limit=30,
+        )
+        assert record.solved
+        assert record.verified_feasible
+
+
+class TestRunGreedy:
+    def test_greedy_record(self, tiny_scenario):
+        record, solution = run_greedy(tiny_scenario)
+        assert record.algorithm == "greedy"
+        assert record.verified_feasible
+        assert record.num_embedded == solution.num_embedded
+
+    def test_greedy_bounded_by_exact(self, tiny_scenario):
+        greedy_record, _ = run_greedy(tiny_scenario)
+        exact_record, _ = run_exact(tiny_scenario, algorithm="csigma", time_limit=30)
+        assert greedy_record.objective <= exact_record.objective + 1e-6

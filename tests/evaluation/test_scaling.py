@@ -1,0 +1,98 @@
+"""Tests of the scaling-study utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.scaling import (
+    ScalingPoint,
+    render_scaling_table,
+    scaling_study,
+)
+from repro.exceptions import ValidationError
+
+
+class TestScalingStudy:
+    def test_point_per_size_and_seed(self):
+        points = scaling_study(
+            request_counts=(2, 3), seeds=(0, 1), time_limit=30
+        )
+        assert len(points) == 4
+        sizes = sorted({p.num_requests for p in points})
+        assert sizes == [2, 3]
+
+    def test_points_verified_and_sized(self):
+        points = scaling_study(request_counts=(3,), seeds=(0,), time_limit=30)
+        point = points[0]
+        assert point.verified_feasible
+        assert point.model_vars > 0
+        assert point.model_constraints > 0
+        assert point.total_time == pytest.approx(
+            point.build_time + point.solve_time
+        )
+
+    def test_model_size_grows_with_requests(self):
+        points = scaling_study(
+            request_counts=(2, 5), seeds=(0,), time_limit=60
+        )
+        small, large = sorted(points, key=lambda p: p.num_requests)
+        assert large.model_vars > small.model_vars
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValidationError):
+            scaling_study(request_counts=(2,), algorithm="oracle")
+
+    def test_custom_scenario_factory(self):
+        from repro.workloads import small_scenario
+
+        calls = []
+
+        def factory(seed, n):
+            calls.append((seed, n))
+            return small_scenario(seed, num_requests=n, leaves=1, grid=(2, 2))
+
+        points = scaling_study(
+            request_counts=(2,), seeds=(7,), scenario_factory=factory, time_limit=30
+        )
+        assert calls == [(7, 2)]
+        assert points[0].seed == 7
+
+
+class TestRendering:
+    def test_table_contains_rows(self):
+        points = [
+            ScalingPoint(
+                algorithm="csigma",
+                num_requests=4,
+                seed=0,
+                build_time=0.01,
+                solve_time=0.02,
+                objective=10.0,
+                gap=0.0,
+                num_embedded=3,
+                model_vars=100,
+                model_constraints=120,
+                verified_feasible=True,
+            )
+        ]
+        table = render_scaling_table(points, title="T")
+        assert table.startswith("T")
+        assert "csigma" in table
+        assert "3/4" in table
+
+    def test_infinite_gap_rendered(self):
+        import math
+
+        points = [
+            ScalingPoint(
+                algorithm="delta",
+                num_requests=4,
+                seed=0,
+                build_time=0.1,
+                solve_time=1.0,
+                objective=math.nan,
+                gap=math.inf,
+                num_embedded=0,
+            )
+        ]
+        assert "inf" in render_scaling_table(points)

@@ -1,0 +1,136 @@
+"""Tests of JSON instance/solution serialization."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.io import (
+    Instance,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_solution,
+    save_instance,
+    save_solution,
+    solution_from_dict,
+    solution_to_dict,
+)
+from repro.tvnep import CSigmaModel, verify_solution
+from repro.workloads import small_scenario
+
+
+def make_instance(num_requests=3) -> Instance:
+    scenario = small_scenario(0, num_requests=num_requests).with_flexibility(1.0)
+    return Instance(
+        substrate=scenario.substrate,
+        requests=scenario.requests,
+        node_mappings={
+            name: {str(v): str(s) for v, s in mapping.items()}
+            for name, mapping in scenario.node_mappings.items()
+        },
+    )
+
+
+class TestInstanceRoundTrip:
+    def test_dict_round_trip(self):
+        original = make_instance()
+        payload = instance_to_dict(original)
+        restored = instance_from_dict(payload)
+        assert restored.substrate.num_nodes == original.substrate.num_nodes
+        assert restored.substrate.num_links == original.substrate.num_links
+        assert restored.request_names == original.request_names
+        for a, b in zip(original.requests, restored.requests):
+            assert a.duration == b.duration
+            assert a.earliest_start == b.earliest_start
+            assert a.latest_end == b.latest_end
+            assert a.vnet.num_nodes == b.vnet.num_nodes
+        assert restored.node_mappings == original.node_mappings
+
+    def test_payload_is_json_serializable(self):
+        payload = instance_to_dict(make_instance())
+        text = json.dumps(payload)
+        assert "tvnep-instance" in text
+
+    def test_file_round_trip(self, tmp_path):
+        original = make_instance()
+        path = tmp_path / "instance.json"
+        save_instance(original, str(path))
+        restored = load_instance(str(path))
+        assert restored.request_names == original.request_names
+
+    def test_capacities_preserved(self):
+        original = make_instance()
+        restored = instance_from_dict(instance_to_dict(original))
+        for node in original.substrate.nodes:
+            assert restored.substrate.node_capacity(str(node)) == pytest.approx(
+                original.substrate.node_capacity(node)
+            )
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValidationError):
+            instance_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self):
+        payload = instance_to_dict(make_instance())
+        payload["version"] = 99
+        with pytest.raises(ValidationError):
+            instance_from_dict(payload)
+
+
+class TestSolutionRoundTrip:
+    @pytest.fixture(scope="class")
+    def solved(self):
+        instance = make_instance()
+        model = CSigmaModel(
+            instance.substrate,
+            instance.requests,
+            fixed_mappings=instance.node_mappings,
+        )
+        solution = model.solve(time_limit=60)
+        return instance, solution
+
+    def test_dict_round_trip(self, solved):
+        instance, solution = solved
+        payload = solution_to_dict(solution)
+        restored = solution_from_dict(payload, instance)
+        assert restored.embedded_names() == solution.embedded_names()
+        assert restored.objective == pytest.approx(solution.objective)
+        for name in solution.scheduled:
+            assert restored[name].start == pytest.approx(solution[name].start)
+            assert restored[name].end == pytest.approx(solution[name].end)
+
+    def test_restored_solution_verifies(self, solved):
+        instance, solution = solved
+        restored = solution_from_dict(solution_to_dict(solution), instance)
+        assert verify_solution(restored).feasible
+
+    def test_flows_preserved(self, solved):
+        instance, solution = solved
+        restored = solution_from_dict(solution_to_dict(solution), instance)
+        for name in solution.embedded_names():
+            original_usage = solution[name].link_usage()
+            restored_usage = restored[name].link_usage()
+            assert set(map(tuple, original_usage)) == set(map(tuple, restored_usage))
+
+    def test_file_round_trip(self, solved, tmp_path):
+        instance, solution = solved
+        path = tmp_path / "solution.json"
+        save_solution(solution, str(path))
+        restored = load_solution(str(path), instance)
+        assert restored.num_embedded == solution.num_embedded
+
+    def test_unknown_request_rejected(self, solved):
+        instance, solution = solved
+        payload = solution_to_dict(solution)
+        payload["schedule"][0]["request"] = "GHOST"
+        with pytest.raises(ValidationError):
+            solution_from_dict(payload, instance)
+
+    def test_wrong_format_rejected(self, solved):
+        instance, _ = solved
+        with pytest.raises(ValidationError):
+            solution_from_dict({"format": "nope"}, instance)

@@ -1,0 +1,120 @@
+"""Tests of constraint construction and normalization."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelingError
+from repro.mip.constraint import Constraint, Sense
+from repro.mip.expr import LinExpr, Variable
+
+
+def make_vars(n: int) -> list[Variable]:
+    return [Variable(f"x{i}", index=i) for i in range(n)]
+
+
+class TestConstruction:
+    def test_le_from_comparison(self):
+        x, y = make_vars(2)
+        con = 2 * x + y <= 5
+        assert isinstance(con, Constraint)
+        assert con.sense is Sense.LE
+        assert con.rhs == 5.0
+        assert con.lhs.coefficient(x) == 2.0
+
+    def test_ge_from_comparison(self):
+        (x,) = make_vars(1)
+        con = x >= 1
+        assert con.sense is Sense.GE
+        assert con.rhs == 1.0
+
+    def test_eq_from_comparison(self):
+        x, y = make_vars(2)
+        con = x + y == 3
+        assert con.sense is Sense.EQ
+        assert con.rhs == 3.0
+
+    def test_constants_fold_to_rhs(self):
+        (x,) = make_vars(1)
+        con = x + 2 <= 5
+        assert con.lhs.constant == 0.0
+        assert con.rhs == 3.0
+
+    def test_variables_gather_left(self):
+        x, y = make_vars(2)
+        con = x <= y + 1
+        assert con.lhs.coefficient(x) == 1.0
+        assert con.lhs.coefficient(y) == -1.0
+        assert con.rhs == 1.0
+
+    def test_nan_rhs_rejected(self):
+        (x,) = make_vars(1)
+        with pytest.raises(ModelingError):
+            Constraint(LinExpr({x: 1.0}), Sense.LE, math.nan)
+
+    def test_var_vs_var_comparison(self):
+        x, y = make_vars(2)
+        con = x <= y
+        assert con.sense is Sense.LE
+        assert con.rhs == 0.0
+
+
+class TestSense:
+    def test_flip(self):
+        assert Sense.LE.flip() is Sense.GE
+        assert Sense.GE.flip() is Sense.LE
+        assert Sense.EQ.flip() is Sense.EQ
+
+
+class TestSatisfaction:
+    def test_satisfied_le(self):
+        (x,) = make_vars(1)
+        con = 2 * x <= 4
+        assert con.satisfied_by({x: 2.0})
+        assert not con.satisfied_by({x: 2.1})
+
+    def test_satisfied_ge(self):
+        (x,) = make_vars(1)
+        con = x >= 1
+        assert con.satisfied_by({x: 1.0})
+        assert not con.satisfied_by({x: 0.5})
+
+    def test_satisfied_eq_with_tolerance(self):
+        (x,) = make_vars(1)
+        con = x == 1
+        assert con.satisfied_by({x: 1.0 + 1e-9})
+        assert not con.satisfied_by({x: 1.1})
+
+    def test_violation_magnitudes(self):
+        (x,) = make_vars(1)
+        assert (x <= 1).violation({x: 3.0}) == pytest.approx(2.0)
+        assert (x >= 1).violation({x: 0.0}) == pytest.approx(1.0)
+        assert (x == 1).violation({x: 1.5}) == pytest.approx(0.5)
+        assert (x <= 1).violation({x: 0.0}) == 0.0
+
+
+class TestTrivial:
+    def test_trivial_detection(self):
+        (x,) = make_vars(1)
+        con = (x - x) <= 1
+        assert con.is_trivial
+        assert con.trivially_holds()
+
+    def test_trivially_false(self):
+        (x,) = make_vars(1)
+        con = (x - x) >= 1
+        assert con.is_trivial
+        assert not con.trivially_holds()
+
+    def test_trivially_holds_requires_trivial(self):
+        (x,) = make_vars(1)
+        con = x <= 1
+        with pytest.raises(ModelingError):
+            con.trivially_holds()
+
+    def test_repr_includes_name(self):
+        (x,) = make_vars(1)
+        con = Constraint(LinExpr({x: 1.0}), Sense.LE, 2.0, name="cap")
+        assert "cap" in repr(con)

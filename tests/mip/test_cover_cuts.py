@@ -1,0 +1,131 @@
+"""Tests of knapsack cover-cut separation and cut-and-branch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mip import Model, ObjectiveSense, quicksum, solve_highs
+from repro.mip.bnb import BranchAndBoundSolver
+from repro.mip.bnb.cover_cuts import extend_form_with_cuts, separate_cover_cuts
+from repro.mip.highs_backend import solve_relaxation
+
+
+def knapsack(weights, profits, capacity):
+    m = Model()
+    xs = [m.binary_var(f"x{i}") for i in range(len(weights))]
+    m.add_constr(quicksum(w * x for w, x in zip(weights, xs)) <= capacity)
+    m.set_objective(
+        quicksum(p * x for p, x in zip(profits, xs)), ObjectiveSense.MAXIMIZE
+    )
+    return m, xs
+
+
+class TestSeparation:
+    def test_violated_cover_found(self):
+        # 3 items of weight 2, capacity 3: LP picks x = 0.5 each if
+        # profits are equal -> cover {any two} with sum x = 1.5 > 1
+        m, xs = knapsack([2, 2, 2], [1, 1, 1], 3)
+        form = m.to_standard_form()
+        x = np.array([0.75, 0.75, 0.0])
+        cuts = separate_cover_cuts(form, x)
+        assert cuts
+        cols, signs, rhs = cuts[0]
+        assert rhs == pytest.approx(1.0)
+        assert len(cols) == 2
+        assert np.all(signs == 1.0)
+
+    def test_integral_point_yields_no_cut(self):
+        m, xs = knapsack([2, 2, 2], [1, 1, 1], 3)
+        form = m.to_standard_form()
+        cuts = separate_cover_cuts(form, np.array([1.0, 0.0, 0.0]))
+        assert cuts == []
+
+    def test_loose_row_yields_no_cut(self):
+        m, xs = knapsack([1, 1, 1], [1, 1, 1], 5)  # sum a <= b: no cover
+        form = m.to_standard_form()
+        cuts = separate_cover_cuts(form, np.array([0.9, 0.9, 0.9]))
+        assert cuts == []
+
+    def test_negative_coefficients_complemented(self):
+        m = Model()
+        x = m.binary_var("x")
+        y = m.binary_var("y")
+        z = m.binary_var("z")
+        # 2x + 2y - 2z <= 1  <=>  2x + 2y + 2(1-z) <= 3
+        m.add_constr(2 * x + 2 * y - 2 * z <= 1)
+        form = m.to_standard_form()
+        point = np.array([0.9, 0.9, 0.4])  # (1-z) = 0.6 very active
+        cuts = separate_cover_cuts(form, point)
+        assert cuts
+        # cut must be valid for every integral feasible assignment
+        cols, signs, rhs = cuts[0]
+        for xv in (0, 1):
+            for yv in (0, 1):
+                for zv in (0, 1):
+                    if 2 * xv + 2 * yv - 2 * zv <= 1:
+                        values = {0: xv, 1: yv, 2: zv}
+                        lhs = sum(
+                            s * values[int(c)] for c, s in zip(cols, signs)
+                        )
+                        assert lhs <= rhs + 1e-9
+
+    def test_extend_form_appends_rows(self):
+        m, xs = knapsack([2, 2, 2], [1, 1, 1], 3)
+        form = m.to_standard_form()
+        cuts = separate_cover_cuts(form, np.array([0.75, 0.75, 0.0]))
+        extended = extend_form_with_cuts(form, cuts)
+        assert extended.num_constraints == form.num_constraints + len(cuts)
+        assert extended.constraint_names[-1].startswith("cover")
+
+    def test_extend_with_no_cuts_returns_same(self):
+        m, _ = knapsack([1], [1], 2)
+        form = m.to_standard_form()
+        assert extend_form_with_cuts(form, []) is form
+
+
+class TestCutAndBranch:
+    def test_cuts_tighten_root_bound(self):
+        # equal profits/weights: the LP bound without cuts is b/w * p
+        m, _ = knapsack([2, 2, 2, 2, 2], [1, 1, 1, 1, 1], 5)
+        lp = solve_relaxation(m)
+        assert lp.objective == pytest.approx(2.5)
+        with_cuts = BranchAndBoundSolver(cover_cuts=True).solve(m)
+        without = BranchAndBoundSolver(cover_cuts=False).solve(m)
+        assert with_cuts.objective == pytest.approx(2.0)
+        assert without.objective == pytest.approx(2.0)
+
+    def test_optimum_preserved_on_mixed_model(self):
+        m = Model()
+        xs = [m.binary_var(f"x{i}") for i in range(4)]
+        y = m.continuous_var("y", lb=0, ub=3)
+        m.add_constr(quicksum(3 * x for x in xs) + y <= 8)
+        m.set_objective(
+            quicksum(2 * x for x in xs) + y, ObjectiveSense.MAXIMIZE
+        )
+        highs = solve_highs(m)
+        bnb = BranchAndBoundSolver(cover_cuts=True).solve(m)
+        assert bnb.objective == pytest.approx(highs.objective)
+
+
+@st.composite
+def random_knapsack(draw):
+    n = draw(st.integers(3, 7))
+    weights = [draw(st.integers(1, 9)) for _ in range(n)]
+    profits = [draw(st.integers(1, 9)) for _ in range(n)]
+    capacity = draw(st.integers(2, max(3, sum(weights) - 1)))
+    return weights, profits, capacity
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_knapsack())
+def test_cover_cuts_never_change_the_optimum(params):
+    weights, profits, capacity = params
+    m, _ = knapsack(weights, profits, capacity)
+    reference = solve_highs(m)
+    cut = BranchAndBoundSolver(cover_cuts=True).solve(m)
+    assert cut.status == reference.status
+    if reference.has_solution:
+        assert cut.objective == pytest.approx(reference.objective, abs=1e-6)

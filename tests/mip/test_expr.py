@@ -1,0 +1,216 @@
+"""Unit and property tests of the linear-expression algebra."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ModelingError
+from repro.mip.expr import LinExpr, Variable, VarType, as_expr, quicksum
+
+
+def make_vars(n: int) -> list[Variable]:
+    return [Variable(f"x{i}", index=i) for i in range(n)]
+
+
+class TestVariable:
+    def test_defaults(self):
+        v = Variable("x")
+        assert v.lb == 0.0
+        assert math.isinf(v.ub)
+        assert v.vtype is VarType.CONTINUOUS
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelingError):
+            Variable("")
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ModelingError):
+            Variable("x", lb=2.0, ub=1.0)
+
+    def test_nan_bound_rejected(self):
+        with pytest.raises(ModelingError):
+            Variable("x", lb=math.nan)
+
+    def test_binary_bounds_enforced(self):
+        with pytest.raises(ModelingError):
+            Variable("x", lb=0, ub=2, vtype=VarType.BINARY)
+
+    def test_is_integral(self):
+        assert VarType.BINARY.is_integral
+        assert VarType.INTEGER.is_integral
+        assert not VarType.CONTINUOUS.is_integral
+
+    def test_hash_is_identity(self):
+        a = Variable("x")
+        b = Variable("x")
+        assert hash(a) != hash(b) or a is not b
+        assert len({a, b}) == 2
+
+    def test_str_and_repr(self):
+        v = Variable("flow", lb=0, ub=5)
+        assert str(v) == "flow"
+        assert "flow" in repr(v)
+
+
+class TestArithmetic:
+    def test_var_plus_var(self):
+        x, y = make_vars(2)
+        expr = x + y
+        assert expr.coefficient(x) == 1.0
+        assert expr.coefficient(y) == 1.0
+        assert expr.constant == 0.0
+
+    def test_var_plus_scalar(self):
+        (x,) = make_vars(1)
+        expr = x + 3
+        assert expr.constant == 3.0
+        expr2 = 3 + x
+        assert expr2.constant == 3.0
+
+    def test_subtraction(self):
+        x, y = make_vars(2)
+        expr = x - y - 1
+        assert expr.coefficient(x) == 1.0
+        assert expr.coefficient(y) == -1.0
+        assert expr.constant == -1.0
+
+    def test_rsub(self):
+        (x,) = make_vars(1)
+        expr = 5 - x
+        assert expr.constant == 5.0
+        assert expr.coefficient(x) == -1.0
+
+    def test_scalar_multiplication(self):
+        (x,) = make_vars(1)
+        assert (2 * x).coefficient(x) == 2.0
+        assert (x * 2).coefficient(x) == 2.0
+        assert (-x).coefficient(x) == -1.0
+        assert (+x).coefficient(x) == 1.0
+
+    def test_division(self):
+        (x,) = make_vars(1)
+        assert (x / 4).coefficient(x) == 0.25
+
+    def test_division_by_zero_rejected(self):
+        (x,) = make_vars(1)
+        with pytest.raises(ModelingError):
+            _ = x.to_expr() / 0
+
+    def test_product_of_expressions_rejected(self):
+        x, y = make_vars(2)
+        with pytest.raises(ModelingError):
+            _ = x.to_expr() * y  # type: ignore[operator]
+
+    def test_cancellation_removes_term(self):
+        (x,) = make_vars(1)
+        expr = x - x
+        assert expr.is_constant
+        assert len(expr) == 0
+
+    def test_zero_coefficient_dropped(self):
+        (x,) = make_vars(1)
+        expr = 0 * x
+        assert x not in expr.terms
+
+    def test_nan_constant_rejected(self):
+        with pytest.raises(ModelingError):
+            as_expr(math.nan)
+
+    def test_as_expr_unknown_type(self):
+        with pytest.raises(ModelingError):
+            as_expr("not an expression")  # type: ignore[arg-type]
+
+
+class TestEvaluate:
+    def test_affine_evaluation(self):
+        x, y = make_vars(2)
+        expr = 2 * x - 3 * y + 7
+        assert expr.evaluate({x: 1.0, y: 2.0}) == pytest.approx(3.0)
+
+    def test_missing_variable_raises(self):
+        x, y = make_vars(2)
+        expr = x + y
+        with pytest.raises(KeyError):
+            expr.evaluate({x: 1.0})
+
+
+class TestQuicksum:
+    def test_matches_builtin_sum(self):
+        xs = make_vars(10)
+        a = quicksum(2 * x for x in xs)
+        for x in xs:
+            assert a.coefficient(x) == 2.0
+
+    def test_mixed_items(self):
+        x, y = make_vars(2)
+        total = quicksum([x, 2 * y, 5, LinExpr({x: 1.0}, 1.0)])
+        assert total.coefficient(x) == 2.0
+        assert total.coefficient(y) == 2.0
+        assert total.constant == 6.0
+
+    def test_empty(self):
+        total = quicksum([])
+        assert total.is_constant
+        assert total.constant == 0.0
+
+
+# --------------------------------------------------------------------------
+# property-based algebra laws
+# --------------------------------------------------------------------------
+coef = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def exprs(draw, pool: list[Variable]):
+    terms = {
+        v: draw(coef) for v in draw(st.sets(st.sampled_from(pool), max_size=4))
+    }
+    return LinExpr(terms, draw(coef))
+
+
+POOL = make_vars(6)
+VALUES = {v: float(i + 1) * 0.7 for i, v in enumerate(POOL)}
+
+
+@given(exprs(POOL), exprs(POOL))
+def test_addition_commutes(a, b):
+    assert (a + b).evaluate(VALUES) == pytest.approx((b + a).evaluate(VALUES))
+
+
+@given(exprs(POOL), exprs(POOL), exprs(POOL))
+def test_addition_associates(a, b, c):
+    left = ((a + b) + c).evaluate(VALUES)
+    right = (a + (b + c)).evaluate(VALUES)
+    assert left == pytest.approx(right, abs=1e-6)
+
+
+@given(exprs(POOL), coef, coef)
+def test_scalar_distributes(a, s, t):
+    lhs = ((s + t) * a).evaluate(VALUES)
+    rhs = (s * a + t * a).evaluate(VALUES)
+    assert lhs == pytest.approx(rhs, abs=1e-6)
+
+
+@given(exprs(POOL))
+def test_negation_is_involution(a):
+    assert (-(-a)).evaluate(VALUES) == pytest.approx(a.evaluate(VALUES))
+
+
+@given(exprs(POOL), exprs(POOL))
+def test_subtraction_inverts_addition(a, b):
+    assert ((a + b) - b).evaluate(VALUES) == pytest.approx(
+        a.evaluate(VALUES), abs=1e-6
+    )
+
+
+@given(exprs(POOL))
+def test_copy_is_independent(a):
+    b = a.copy()
+    b.add_term(POOL[0], 17.0)
+    assert a.coefficient(POOL[0]) != b.coefficient(POOL[0])

@@ -1,0 +1,152 @@
+"""Tests of the HiGHS backend (MILP + LP relaxation)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.mip import (
+    Model,
+    ObjectiveSense,
+    SolveStatus,
+    quicksum,
+    solve_highs,
+    solve_relaxation,
+)
+
+
+def knapsack(weights, profits, capacity):
+    m = Model("knapsack")
+    xs = [m.binary_var(f"x{i}") for i in range(len(weights))]
+    m.add_constr(quicksum(w * x for w, x in zip(weights, xs)) <= capacity)
+    m.set_objective(
+        quicksum(p * x for p, x in zip(profits, xs)), ObjectiveSense.MAXIMIZE
+    )
+    return m, xs
+
+
+class TestMilp:
+    def test_knapsack_optimum(self):
+        m, xs = knapsack([2, 3, 4, 5], [3, 4, 5, 6], 5)
+        sol = solve_highs(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(7.0)
+        chosen = [i for i, x in enumerate(xs) if sol.rounded(x) == 1]
+        assert chosen == [0, 1]
+
+    def test_minimization(self):
+        m = Model()
+        x = m.integer_var("x", lb=0, ub=10)
+        m.add_constr(2 * x >= 7)
+        m.set_objective(x, ObjectiveSense.MINIMIZE)
+        sol = solve_highs(m)
+        assert sol.rounded(x) == 4
+
+    def test_infeasible(self):
+        m = Model()
+        x = m.binary_var("x")
+        m.add_constr(x >= 0.4)
+        m.add_constr(x <= 0.6)
+        sol = solve_highs(m)
+        assert sol.status is SolveStatus.INFEASIBLE
+        assert not sol.has_solution
+
+    def test_unbounded(self):
+        m = Model()
+        x = m.continuous_var("x", lb=0)
+        m.set_objective(x, ObjectiveSense.MAXIMIZE)
+        sol = solve_highs(m)
+        assert sol.status in (SolveStatus.UNBOUNDED, SolveStatus.ERROR)
+
+    def test_objective_constant_carried(self):
+        m = Model()
+        x = m.binary_var("x")
+        m.set_objective(x + 10, ObjectiveSense.MAXIMIZE)
+        sol = solve_highs(m)
+        assert sol.objective == pytest.approx(11.0)
+
+    def test_gap_zero_when_optimal(self):
+        m, _ = knapsack([1, 2], [1, 2], 3)
+        sol = solve_highs(m)
+        assert sol.gap == 0.0
+        assert sol.is_optimal
+
+    def test_value_of_expression(self):
+        m, xs = knapsack([2, 3], [3, 4], 5)
+        sol = solve_highs(m)
+        assert sol.value(3 * xs[0] + 4 * xs[1]) == pytest.approx(sol.objective)
+
+    def test_no_value_without_solution(self):
+        m = Model()
+        x = m.binary_var("x")
+        m.add_constr(x >= 0.4)
+        m.add_constr(x <= 0.6)
+        sol = solve_highs(m)
+        from repro.exceptions import SolverError
+
+        with pytest.raises(SolverError):
+            sol.value(x)
+
+
+class TestRelaxation:
+    def test_relaxation_bounds_milp(self):
+        m, _ = knapsack([2, 3, 4], [3, 4, 5], 5)
+        milp = solve_highs(m)
+        lp = solve_relaxation(m)
+        assert lp.status is SolveStatus.OPTIMAL
+        assert lp.objective >= milp.objective - 1e-9
+
+    def test_relaxation_fractional(self):
+        m, xs = knapsack([2, 3], [3, 5], 4)
+        lp = solve_relaxation(m)
+        # LP takes item 1 fully and 1/2 of item 0
+        assert lp.objective == pytest.approx(5 + 3 / 2 * (1 / 3) * 2, abs=1.0)
+        values = [lp.value(x) for x in xs]
+        assert any(0.01 < v < 0.99 for v in values)
+
+    def test_relaxation_with_fixings(self):
+        m, xs = knapsack([2, 3], [3, 5], 4)
+        lp = solve_relaxation(m, fixed={xs[1]: 0.0})
+        assert lp.value(xs[1]) == pytest.approx(0.0)
+        assert lp.objective == pytest.approx(3.0)
+
+    def test_relaxation_infeasible(self):
+        m = Model()
+        x = m.continuous_var("x", lb=0, ub=1)
+        m.add_constr(x >= 2)
+        lp = solve_relaxation(m)
+        assert lp.status is SolveStatus.INFEASIBLE
+
+
+class TestSolutionObject:
+    def test_summary_renders(self):
+        m, _ = knapsack([1], [1], 1)
+        sol = solve_highs(m)
+        text = sol.summary()
+        assert "optimal" in text
+
+    def test_rounded_rejects_fractional(self):
+        m, _ = knapsack([2, 3], [3, 5], 4)
+        lp = solve_relaxation(m)
+        from repro.exceptions import SolverError
+
+        fractional = [
+            v for v in lp.values if 0.01 < lp.values[v] < 0.99
+        ]
+        assert fractional
+        with pytest.raises(SolverError):
+            lp.rounded(fractional[0])
+
+    def test_value_map(self):
+        m, xs = knapsack([1, 1], [1, 1], 2)
+        sol = solve_highs(m)
+        mapped = sol.value_map({"a": xs[0], "b": xs[1]})
+        assert set(mapped) == {"a", "b"}
+
+    def test_relative_gap_infinite_for_nan(self):
+        from repro.mip import relative_gap
+
+        assert math.isinf(relative_gap(math.nan, 1.0))
+        assert math.isinf(relative_gap(1.0, math.inf))
+        assert relative_gap(10.0, 11.0) == pytest.approx(0.1)

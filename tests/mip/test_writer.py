@@ -1,0 +1,78 @@
+"""Tests of the LP-format writer."""
+
+from __future__ import annotations
+
+import math
+
+from repro.mip import Model, ObjectiveSense, write_lp, write_lp_file
+
+
+def sample_model():
+    m = Model("sample")
+    x = m.continuous_var("x", lb=0, ub=4)
+    y = m.binary_var("flow[a->b]")
+    z = m.integer_var("z", lb=1, ub=9)
+    m.add_constr(x + 2 * y <= 6, name="cap")
+    m.add_constr(x - z >= -3, name="low")
+    m.add_constr(x + y + z == 5)
+    m.set_objective(x + 3 * y - z, ObjectiveSense.MAXIMIZE)
+    return m
+
+
+class TestWriter:
+    def test_sections_present(self):
+        text = write_lp(sample_model())
+        for section in ("Maximize", "Subject To", "Bounds", "Binary", "General", "End"):
+            assert section in text
+
+    def test_constraint_names(self):
+        text = write_lp(sample_model())
+        assert "cap:" in text
+        assert "low:" in text
+        assert "c2:" in text  # auto-named
+
+    def test_names_sanitized(self):
+        text = write_lp(sample_model())
+        # the arrow in "flow[a->b]" must not survive
+        assert "->" not in text.split("Maximize")[1]
+
+    def test_equality_rendered_single_eq(self):
+        text = write_lp(sample_model())
+        assert " = 5" in text
+
+    def test_free_variable(self):
+        m = Model()
+        m.continuous_var("f", lb=-math.inf, ub=math.inf)
+        text = write_lp(m)
+        assert "free" in text
+
+    def test_fixed_variable(self):
+        m = Model()
+        x = m.continuous_var("x", lb=0, ub=10)
+        m.fix_var(x, 2.0)
+        text = write_lp(m)
+        assert "x = 2" in text
+
+    def test_minimize_header(self):
+        m = Model()
+        x = m.continuous_var("x")
+        m.set_objective(x, ObjectiveSense.MINIMIZE)
+        assert "Minimize" in write_lp(m)
+
+    def test_sanitizer_collisions_disambiguated(self):
+        m = Model()
+        m.continuous_var("a+b")
+        m.continuous_var("a-b")
+        text = write_lp(m)
+        assert "a_b__1" in text
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "model.lp"
+        write_lp_file(sample_model(), str(path))
+        assert path.read_text().startswith("\\ Model: sample")
+
+    def test_leading_digit_name(self):
+        m = Model()
+        m.continuous_var("0weird")
+        text = write_lp(m)
+        assert "v_0weird" in text

@@ -1,0 +1,116 @@
+"""Tests of the instance linter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import (
+    LintReport,
+    Request,
+    SubstrateNetwork,
+    TemporalSpec,
+    VirtualNetwork,
+    line_substrate,
+    lint_instance,
+)
+from repro.network.topologies import star
+from repro.workloads import small_scenario
+
+
+def unit_request(name, demand=1.0, t_s=0.0, t_e=4.0, d=2.0):
+    v = VirtualNetwork(name)
+    v.add_node("v", demand)
+    return Request(v, TemporalSpec(t_s, t_e, d))
+
+
+class TestSoundInstances:
+    def test_clean_instance_passes(self):
+        sub = line_substrate(3, node_capacity=2.0, link_capacity=2.0)
+        report = lint_instance(sub, [unit_request("A")])
+        assert report.ok
+        assert not report.warnings
+        assert "sound" in report.render()
+
+    def test_generated_scenario_has_no_errors(self):
+        scenario = small_scenario(0)
+        report = lint_instance(
+            scenario.substrate, scenario.requests, scenario.node_mappings
+        )
+        assert report.ok  # random mappings may warn, never error
+
+
+class TestErrors:
+    def test_empty_substrate(self):
+        report = lint_instance(SubstrateNetwork(), [])
+        assert not report.ok
+
+    def test_oversized_node_demand(self):
+        sub = line_substrate(2, node_capacity=1.0, link_capacity=1.0)
+        report = lint_instance(sub, [unit_request("big", demand=5.0)])
+        assert not report.ok
+        assert any("largest substrate node" in e for e in report.errors)
+
+    def test_total_demand_exceeds_substrate(self):
+        sub = SubstrateNetwork()
+        sub.add_node("s", 1.0)
+        vnet = star("big", leaves=2, node_demand=1.0, link_demand=0.1)
+        report = lint_instance(sub, [Request(vnet, TemporalSpec(0, 4, 2))])
+        assert any("whole substrate" in e for e in report.errors)
+
+    def test_duplicate_names(self):
+        sub = line_substrate(2, 2.0, 2.0)
+        report = lint_instance(sub, [unit_request("A"), unit_request("A")])
+        assert any("duplicate" in e for e in report.errors)
+
+    def test_window_past_horizon(self):
+        sub = line_substrate(2, 2.0, 2.0)
+        report = lint_instance(sub, [unit_request("A", t_e=10.0)], time_horizon=5.0)
+        assert any("past the horizon" in e for e in report.errors)
+
+    def test_mapping_misses_nodes(self):
+        sub = line_substrate(2, 2.0, 2.0)
+        vnet = star("S", leaves=1, node_demand=1.0, link_demand=1.0)
+        request = Request(vnet, TemporalSpec(0, 4, 2))
+        report = lint_instance(sub, [request], {"S": {"center": "s0"}})
+        assert any("misses virtual nodes" in e for e in report.errors)
+
+    def test_mapping_to_unknown_host(self):
+        sub = line_substrate(2, 2.0, 2.0)
+        report = lint_instance(
+            sub, [unit_request("A")], {"A": {"v": "ghost"}}
+        )
+        assert any("unknown node" in e for e in report.errors)
+
+
+class TestWarnings:
+    def test_disconnected_substrate_warns(self):
+        sub = SubstrateNetwork()
+        sub.add_node("u", 2.0)
+        sub.add_node("v", 2.0)
+        sub.add_link("u", "v", 1.0)  # one-way only
+        report = lint_instance(sub, [unit_request("A")])
+        assert report.ok
+        assert any("strongly connected" in w for w in report.warnings)
+
+    def test_heavy_link_demand_warns(self):
+        sub = line_substrate(2, node_capacity=3.0, link_capacity=1.0)
+        vnet = star("S", leaves=1, node_demand=1.0, link_demand=5.0)
+        report = lint_instance(sub, [Request(vnet, TemporalSpec(0, 4, 2))])
+        assert report.ok
+        assert any("split or co-located" in w for w in report.warnings)
+
+    def test_overloading_mapping_warns(self):
+        sub = line_substrate(2, node_capacity=1.0, link_capacity=2.0)
+        vnet = star("S", leaves=1, node_demand=1.0, link_demand=0.5)
+        request = Request(vnet, TemporalSpec(0, 4, 2))
+        report = lint_instance(
+            sub, [request], {"S": {"center": "s0", "leaf0": "s0"}}
+        )
+        assert report.ok
+        assert any("always be rejected" in w for w in report.warnings)
+
+    def test_render_lists_everything(self):
+        report = LintReport(errors=["boom"], warnings=["hmm"])
+        text = report.render()
+        assert "ERROR: boom" in text
+        assert "warning: hmm" in text

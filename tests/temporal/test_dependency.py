@@ -1,0 +1,262 @@
+"""Tests of the temporal dependency graph (Sec. IV-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import Request, TemporalSpec, VirtualNetwork
+from repro.temporal import DepNode, PointKind, TemporalDependencyGraph
+
+
+def unit_request(name: str, t_s: float, t_e: float, d: float) -> Request:
+    v = VirtualNetwork(name)
+    v.add_node("v", 1.0)
+    return Request(v, TemporalSpec(t_s, t_e, d))
+
+
+def seq_requests() -> list[Request]:
+    """Three requests forced into strict sequence (no window overlap)."""
+    return [
+        unit_request("A", 0.0, 1.0, 1.0),
+        unit_request("B", 2.0, 3.0, 1.0),
+        unit_request("C", 4.0, 5.0, 1.0),
+    ]
+
+
+def flexible_requests() -> list[Request]:
+    """Fully overlapping windows: no inter-request dependencies."""
+    return [
+        unit_request("A", 0.0, 10.0, 1.0),
+        unit_request("B", 0.0, 10.0, 1.0),
+    ]
+
+
+class TestEarliestLatest:
+    def test_start_end_bounds(self):
+        g = TemporalDependencyGraph([unit_request("A", 1.0, 6.0, 2.0)])
+        start = g.node("A", PointKind.START)
+        end = g.node("A", PointKind.END)
+        assert g.earliest(start) == 1.0
+        assert g.latest(start) == 4.0
+        assert g.earliest(end) == 3.0
+        assert g.latest(end) == 6.0
+
+
+class TestEdges:
+    def test_sequential_requests_fully_ordered(self):
+        g = TemporalDependencyGraph(seq_requests())
+        a_end = g.node("A", PointKind.END)
+        b_start = g.node("B", PointKind.START)
+        assert g.has_edge(a_end, b_start)
+        assert g.reaches(g.node("A", PointKind.START), g.node("C", PointKind.END))
+
+    def test_flexible_requests_only_intra_edges(self):
+        g = TemporalDependencyGraph(flexible_requests())
+        edges = g.edges()
+        assert all(v.request == w.request for v, w, _ in edges)
+
+    def test_intra_edges_can_be_disabled(self):
+        g = TemporalDependencyGraph(
+            flexible_requests(), include_intra_request_edges=False
+        )
+        assert g.edges() == []
+
+    def test_intra_edge_from_tight_window(self):
+        # flexibility < duration forces start before end via the paper's rule
+        g = TemporalDependencyGraph(
+            [unit_request("A", 0.0, 3.0, 2.0)],
+            include_intra_request_edges=False,
+        )
+        assert g.has_edge(g.node("A", PointKind.START), g.node("A", PointKind.END))
+
+    def test_edge_weights_one_for_starts(self):
+        g = TemporalDependencyGraph(seq_requests())
+        for v, _, weight in g.edges():
+            assert weight == (1 if v.is_start else 0)
+
+    def test_duplicate_names_rejected(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            TemporalDependencyGraph(
+                [unit_request("A", 0, 2, 1), unit_request("A", 0, 2, 1)]
+            )
+
+    def test_unknown_node_rejected(self):
+        from repro.exceptions import ValidationError
+
+        g = TemporalDependencyGraph(flexible_requests())
+        with pytest.raises(ValidationError):
+            g.node("ZZZ", PointKind.START)
+
+
+class TestDistances:
+    def test_chain_distances(self):
+        g = TemporalDependencyGraph(seq_requests())
+        a_start = g.node("A", PointKind.START)
+        c_start = g.node("C", PointKind.START)
+        # A.start -> A.end -> B.start -> B.end -> C.start: starts A and B
+        assert g.dist_max(a_start, c_start) == 2
+
+    def test_unreachable_distance_zero(self):
+        g = TemporalDependencyGraph(flexible_requests())
+        a = g.node("A", PointKind.START)
+        b = g.node("B", PointKind.START)
+        assert g.dist_max(a, b) == 0
+        assert not g.reaches(a, b)
+
+    def test_dp_matches_floyd_warshall(self):
+        g = TemporalDependencyGraph(seq_requests())
+        fw = g.longest_distances_floyd_warshall()
+        assert np.array_equal(fw, g._dist)
+
+    def test_start_ancestors_descendants(self):
+        g = TemporalDependencyGraph(seq_requests())
+        b_start = g.node("B", PointKind.START)
+        assert g.start_ancestors(b_start) == 1  # A.start
+        assert g.start_descendants(b_start) == 1  # C.start
+
+    def test_full_layout_counts(self):
+        g = TemporalDependencyGraph(seq_requests())
+        b_start = g.node("B", PointKind.START)
+        # ancestors of B.start: A.start, A.end
+        assert g.ancestors(b_start) == 2
+        # descendants: B.end, C.start, C.end
+        assert g.descendants(b_start) == 3
+
+
+class TestExclusions:
+    def test_compact_exclusions_chain(self):
+        g = TemporalDependencyGraph(seq_requests())
+        # |R| = 3, compact events e_1..e_4
+        a_start = g.node("A", PointKind.START)
+        c_start = g.node("C", PointKind.START)
+        c_end = g.node("C", PointKind.END)
+        assert g.leading_exclusion(a_start) == 0
+        # A.start reaches B.start and C.start -> +1 for own end
+        assert g.trailing_exclusion(a_start) == 3
+        assert g.leading_exclusion(c_start) == 2
+        assert g.trailing_exclusion(c_end) == 0
+        assert g.leading_exclusion(c_end) == 3
+
+    def test_full_exclusions_chain(self):
+        g = TemporalDependencyGraph(seq_requests())
+        b_end = g.node("B", PointKind.END)
+        # ancestors: A.start, A.end, B.start
+        assert g.leading_exclusion_full(b_end) == 3
+        # descendants: C.start, C.end
+        assert g.trailing_exclusion_full(b_end) == 2
+
+    def test_full_trailing_start_without_intra(self):
+        g = TemporalDependencyGraph(
+            flexible_requests(), include_intra_request_edges=False
+        )
+        a_start = g.node("A", PointKind.START)
+        # no reachability, but the own end still needs a later slot
+        assert g.trailing_exclusion_full(a_start) == 1
+
+
+# ---------------------------------------------------------------------------
+@st.composite
+def random_requests(draw):
+    count = draw(st.integers(2, 6))
+    reqs = []
+    for i in range(count):
+        start = draw(st.floats(0, 20, allow_nan=False))
+        duration = draw(st.floats(0.1, 5, allow_nan=False))
+        flexibility = draw(st.floats(0, 5, allow_nan=False))
+        reqs.append(
+            unit_request(f"R{i}", start, start + duration + flexibility, duration)
+        )
+    return reqs
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_requests())
+def test_graph_is_acyclic_and_distances_agree(reqs):
+    g = TemporalDependencyGraph(reqs)
+    fw = g.longest_distances_floyd_warshall()
+    assert np.array_equal(fw, g._dist)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_requests())
+def test_exclusions_leave_room(reqs):
+    """Every point keeps at least one admissible event in both layouts."""
+    g = TemporalDependencyGraph(reqs)
+    n = len(reqs)
+    for node in g.nodes:
+        lo_c = g.leading_exclusion(node) + 1
+        hi_c = (n + 1) - g.trailing_exclusion(node)
+        assert lo_c <= hi_c, f"compact range empty for {node}"
+        lo_f = g.leading_exclusion_full(node) + 1
+        hi_f = 2 * n - g.trailing_exclusion_full(node)
+        assert lo_f <= hi_f, f"full range empty for {node}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_requests())
+def test_feasible_schedule_respects_exclusions(reqs):
+    """Schedule everything as early as possible; the implied compact event
+    indices must lie inside the cut ranges (validity of Constraint 19)."""
+    g = TemporalDependencyGraph(reqs)
+    n = len(reqs)
+    starts = sorted(
+        ((r.earliest_start, r.name) for r in reqs)
+    )
+    start_event = {name: i + 1 for i, (_, name) in enumerate(starts)}
+    for r in reqs:
+        node = g.node(r.name, PointKind.START)
+        event = start_event[r.name]
+        assert g.leading_exclusion(node) + 1 <= event
+        assert event <= (n + 1) - g.trailing_exclusion(node)
+
+
+class TestEpsilonTies:
+    def test_noise_scale_gaps_create_no_edge(self):
+        """Solver-noise 'strict' orderings (1e-12 gaps) must not become
+        precedence edges — they made pinned greedy states infeasible."""
+        a = unit_request("A", 0.0, 2.0, 2.0)                 # ends at 2.0
+        b = unit_request("B", 2.0 - 1e-12, 4.0 - 1e-12, 2.0)  # 'starts' 1e-12 earlier
+        g = TemporalDependencyGraph([a, b])
+        assert not g.has_edge(g.node("B", PointKind.START), g.node("A", PointKind.END))
+        assert not g.has_edge(g.node("A", PointKind.END), g.node("B", PointKind.START))
+
+    def test_real_gaps_still_create_edges(self):
+        a = unit_request("A", 0.0, 2.0, 2.0)
+        b = unit_request("B", 2.1, 4.1, 2.0)
+        g = TemporalDependencyGraph([a, b])
+        assert g.has_edge(g.node("A", PointKind.END), g.node("B", PointKind.START))
+
+    def test_negative_epsilon_rejected(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            TemporalDependencyGraph([unit_request("A", 0, 2, 1)], epsilon=-1.0)
+
+
+class TestPinnedGreedyRegression:
+    def test_tied_pinned_schedules_remain_feasible(self):
+        """Regression: greedy-style pinned windows whose boundaries tie
+        to within float noise must not make the cSigma model infeasible
+        (this manifested as the greedy rejecting *every* request at
+        high flexibility on the paper workload)."""
+        from repro.network import SubstrateNetwork
+        from repro.tvnep import CSigmaModel
+
+        sub = SubstrateNetwork()
+        sub.add_node("s", 3.0)
+
+        # A ends exactly when B's pinned window starts (tie + noise),
+        # and C is flexible across both
+        a = unit_request("A", 0.0, 2.0, 2.0)
+        b = unit_request("B", 2.0 - 1e-13, 4.0 - 1e-13, 2.0)
+        c = unit_request("C", 0.0, 8.0, 3.0)
+        model = CSigmaModel(
+            sub, [a, b, c], force_embedded=["A", "B", "C"]
+        )
+        solution = model.solve(time_limit=60)
+        assert solution.num_embedded == 3

@@ -1,0 +1,99 @@
+"""Property-based tests of the Timeline sweep (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.temporal import Interval, Timeline
+
+
+@st.composite
+def usages(draw):
+    count = draw(st.integers(1, 12))
+    items = []
+    for _ in range(count):
+        lo = draw(st.integers(0, 20)) * 0.5
+        length = draw(st.integers(1, 10)) * 0.5
+        amount = draw(st.sampled_from([0.5, 1.0, 2.0]))
+        resource = draw(st.sampled_from(["a", "b"]))
+        items.append((resource, Interval(lo, lo + length), amount))
+    return items
+
+
+def brute_force_usage(items, resource, t):
+    """Open-interval reference implementation."""
+    return sum(
+        amount
+        for res, interval, amount in items
+        if res == resource and interval.lo < t < interval.hi
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(usages())
+def test_usage_at_matches_brute_force_at_midpoints(items):
+    timeline = Timeline()
+    for resource, interval, amount in items:
+        timeline.add_usage(resource, interval, amount)
+    points = sorted(
+        {iv.lo for _, iv, _ in items} | {iv.hi for _, iv, _ in items}
+    )
+    for resource in ("a", "b"):
+        for lo, hi in zip(points, points[1:]):
+            mid = 0.5 * (lo + hi)
+            assert timeline.usage_at(resource, mid) == pytest.approx(
+                brute_force_usage(items, resource, mid)
+            )
+
+
+@settings(max_examples=100, deadline=None)
+@given(usages())
+def test_peak_is_max_over_midpoints(items):
+    timeline = Timeline()
+    for resource, interval, amount in items:
+        timeline.add_usage(resource, interval, amount)
+    points = sorted(
+        {iv.lo for _, iv, _ in items} | {iv.hi for _, iv, _ in items}
+    )
+    for resource in ("a", "b"):
+        brute_peak = max(
+            (
+                brute_force_usage(items, resource, 0.5 * (lo + hi))
+                for lo, hi in zip(points, points[1:])
+            ),
+            default=0.0,
+        )
+        assert timeline.peak(resource) == pytest.approx(brute_peak)
+
+
+@settings(max_examples=50, deadline=None)
+@given(usages())
+def test_usage_never_negative_and_zero_outside(items):
+    timeline = Timeline()
+    for resource, interval, amount in items:
+        timeline.add_usage(resource, interval, amount)
+    latest = max(iv.hi for _, iv, _ in items)
+    for resource in ("a", "b"):
+        assert timeline.usage_at(resource, -1.0) == 0.0
+        assert timeline.usage_at(resource, latest + 1.0) == 0.0
+        for t in (0.25, 1.75, 5.25):
+            assert timeline.usage_at(resource, t) >= 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(usages(), st.floats(0.1, 5.0, allow_nan=False))
+def test_violations_consistent_with_peak(items, capacity):
+    timeline = Timeline()
+    for resource, interval, amount in items:
+        timeline.add_usage(resource, interval, amount)
+    capacities = {"a": capacity, "b": capacity}
+    violations = timeline.violations(capacities)
+    for resource in ("a", "b"):
+        peak = timeline.peak(resource)
+        if peak > capacity + 1e-6:
+            assert resource in violations
+            assert violations[resource] == pytest.approx(peak - capacity)
+        else:
+            assert resource not in violations

@@ -1,0 +1,28 @@
+"""Run the doctests embedded in module docstrings.
+
+Keeps the examples in the documentation honest — if the README-style
+snippet in ``repro.mip`` drifts from the API, this fails.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.mip
+import repro.temporal.interval
+
+MODULES = [repro.mip, repro.temporal.interval]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+
+
+def test_mip_quick_example_has_doctests():
+    """The repro.mip docstring must actually contain runnable examples."""
+    results = doctest.testmod(repro.mip, verbose=False)
+    assert results.attempted >= 1

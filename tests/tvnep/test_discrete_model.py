@@ -1,0 +1,126 @@
+"""Tests of the discrete-time (slotted) baseline model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.network import Request, SubstrateNetwork, TemporalSpec, VirtualNetwork
+from repro.tvnep import CSigmaModel, DiscreteTimeModel, verify_solution
+
+
+def unit_request(name, t_s, t_e, d, demand=1.0):
+    v = VirtualNetwork(name)
+    v.add_node("v", demand)
+    return Request(v, TemporalSpec(t_s, t_e, d))
+
+
+def one_node(cap=1.0):
+    sub = SubstrateNetwork()
+    sub.add_node("s", cap)
+    return sub
+
+
+class TestBasics:
+    def test_aligned_instance_matches_continuous(self):
+        sub = one_node()
+        reqs = [unit_request("A", 0, 4, 2), unit_request("B", 0, 4, 2)]
+        disc = DiscreteTimeModel(sub, reqs, slot_length=1.0).solve()
+        cont = CSigmaModel(sub, reqs).solve()
+        assert disc.objective == pytest.approx(cont.objective)
+        assert verify_solution(disc).feasible
+
+    def test_solution_starts_on_grid(self):
+        sub = one_node()
+        reqs = [unit_request("A", 0, 6, 2)]
+        disc = DiscreteTimeModel(sub, reqs, slot_length=0.5).solve()
+        entry = disc["A"]
+        assert entry.embedded
+        assert (entry.start / 0.5) == pytest.approx(round(entry.start / 0.5))
+
+    def test_misaligned_duration_over_reserves(self):
+        """Durations just over a slot boundary occupy an extra slot."""
+        sub = one_node()
+        # duration 1.1 with slot 1.0 -> footprint 2 slots; two such
+        # requests in a window of 4 slots still fit (2+2), but three do
+        # not, even though continuously 3 x 1.1 = 3.3 < 4.4.
+        reqs = [unit_request(f"R{i}", 0, 4.4, 1.1) for i in range(3)]
+        disc = DiscreteTimeModel(sub, reqs, slot_length=1.0).solve()
+        cont = CSigmaModel(sub, reqs).solve()
+        assert cont.num_embedded == 3
+        assert disc.num_embedded == 2
+        assert disc.objective < cont.objective
+
+    def test_fine_grid_recovers_revenue(self):
+        sub = one_node()
+        reqs = [unit_request(f"R{i}", 0, 4.4, 1.1) for i in range(3)]
+        disc = DiscreteTimeModel(sub, reqs, slot_length=0.1).solve(time_limit=60)
+        assert disc.num_embedded == 3
+
+    def test_window_too_tight_for_grid_rejects(self):
+        sub = one_node()
+        # window [0.3, 1.4], d = 1.0: no multiple of 1.0 fits
+        reqs = [unit_request("A", 0.3, 1.4, 1.0)]
+        disc = DiscreteTimeModel(sub, reqs, slot_length=1.0).solve()
+        assert disc.num_embedded == 0
+
+    def test_model_size_grows_with_grid(self):
+        sub = one_node()
+        reqs = [unit_request("A", 0, 8, 2), unit_request("B", 0, 8, 2)]
+        coarse = DiscreteTimeModel(sub, reqs, slot_length=2.0).stats()
+        fine = DiscreteTimeModel(sub, reqs, slot_length=0.25).stats()
+        assert fine["variables"] > coarse["variables"]
+        assert fine["binary"] > coarse["binary"]
+
+    def test_validation(self):
+        sub = one_node()
+        with pytest.raises(ValidationError):
+            DiscreteTimeModel(sub, [unit_request("A", 0, 4, 2)], slot_length=0)
+        with pytest.raises(ValidationError):
+            DiscreteTimeModel(sub, [], slot_length=1.0)
+        with pytest.raises(ValidationError):
+            DiscreteTimeModel(
+                sub,
+                [unit_request("A", 0, 4, 2), unit_request("A", 0, 4, 2)],
+                slot_length=1.0,
+            )
+
+    def test_force_flags(self):
+        sub = one_node()
+        reqs = [unit_request("A", 0, 4, 2), unit_request("B", 0, 4, 2)]
+        disc = DiscreteTimeModel(
+            sub, reqs, slot_length=1.0, force_rejected=["A"]
+        ).solve()
+        assert not disc["A"].embedded
+        assert disc["B"].embedded
+
+
+@st.composite
+def discrete_instance(draw):
+    count = draw(st.integers(2, 4))
+    cap = draw(st.sampled_from([1.0, 2.0]))
+    reqs = []
+    for i in range(count):
+        start = draw(st.integers(0, 3)) * 0.5
+        duration = draw(st.integers(1, 4)) * 0.5
+        flexibility = draw(st.integers(0, 4)) * 0.5
+        reqs.append(
+            unit_request(f"R{i}", start, start + duration + flexibility, duration)
+        )
+    slot = draw(st.sampled_from([0.25, 0.5, 1.0]))
+    return cap, reqs, slot
+
+
+@settings(max_examples=15, deadline=None)
+@given(discrete_instance())
+def test_discrete_never_beats_continuous(instance):
+    """Any slotted solution is a feasible continuous solution, so the
+    discrete optimum is a lower bound on the continuous one."""
+    cap, reqs, slot = instance
+    sub = one_node(cap)
+    disc = DiscreteTimeModel(sub, reqs, slot_length=slot).solve(time_limit=60)
+    cont = CSigmaModel(sub, reqs).solve(time_limit=60)
+    assert verify_solution(disc).feasible
+    assert disc.objective <= cont.objective + 1e-5

@@ -1,0 +1,162 @@
+"""Edge cases across the temporal models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.network import Request, SubstrateNetwork, TemporalSpec, VirtualNetwork
+from repro.network.topologies import star
+from repro.tvnep import (
+    CSigmaModel,
+    DeltaModel,
+    ModelOptions,
+    SigmaModel,
+    verify_solution,
+)
+
+ALL_MODELS = [DeltaModel, SigmaModel, CSigmaModel]
+
+
+def unit_request(name, t_s, t_e, d, demand=1.0):
+    v = VirtualNetwork(name)
+    v.add_node("v", demand)
+    return Request(v, TemporalSpec(t_s, t_e, d))
+
+
+class TestSingleRequest:
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    def test_single_request_instance(self, model_cls):
+        sub = SubstrateNetwork()
+        sub.add_node("s", 1.0)
+        solution = model_cls(sub, [unit_request("R", 1, 5, 2)]).solve()
+        assert solution.num_embedded == 1
+        entry = solution["R"]
+        assert 1 - 1e-6 <= entry.start <= 3 + 1e-6
+        assert verify_solution(solution).feasible
+
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    def test_single_request_too_big(self, model_cls):
+        sub = SubstrateNetwork()
+        sub.add_node("s", 0.5)
+        solution = model_cls(sub, [unit_request("R", 0, 4, 2)]).solve()
+        assert solution.num_embedded == 0
+        assert solution.objective == pytest.approx(0.0)
+
+
+class TestZeroCapacity:
+    def test_zero_capacity_node_unusable(self):
+        sub = SubstrateNetwork()
+        sub.add_node("dead", 0.0)
+        sub.add_node("live", 1.0)
+        solution = CSigmaModel(sub, [unit_request("R", 0, 4, 2)]).solve()
+        assert solution.num_embedded == 1
+        assert solution["R"].node_mapping["v"] == "live"
+
+    def test_zero_capacity_link_forces_reroute(self):
+        from repro.network.topologies import chain
+
+        sub = SubstrateNetwork()
+        for n in ("a", "b", "c"):
+            sub.add_node(n, 1.0)
+        sub.add_link("a", "b", 0.0)  # dead direct link
+        sub.add_link("a", "c", 1.0)
+        sub.add_link("c", "b", 1.0)
+        request = Request(
+            chain("R", length=2, node_demand=0.5, link_demand=1.0),
+            TemporalSpec(0, 4, 2),
+        )
+        solution = CSigmaModel(
+            sub, [request], fixed_mappings={"R": {"n0": "a", "n1": "b"}}
+        ).solve()
+        assert solution.num_embedded == 1
+        flows = solution["R"].link_flows[("n0", "n1")]
+        assert flows.get(("a", "b"), 0.0) == pytest.approx(0.0, abs=1e-6)
+        assert flows[("a", "c")] == pytest.approx(1.0)
+
+
+class TestHorizonAndWindows:
+    def test_oversized_horizon_harmless(self):
+        sub = SubstrateNetwork()
+        sub.add_node("s", 1.0)
+        reqs = [unit_request("A", 0, 4, 2), unit_request("B", 0, 4, 2)]
+        tight = CSigmaModel(sub, reqs).solve()
+        loose = CSigmaModel(
+            sub, reqs, options=ModelOptions(time_horizon=1000.0)
+        ).solve()
+        assert loose.objective == pytest.approx(tight.objective)
+        assert verify_solution(loose).feasible
+
+    def test_disjoint_far_apart_windows(self):
+        sub = SubstrateNetwork()
+        sub.add_node("s", 1.0)
+        reqs = [
+            unit_request("early", 0, 2, 2),
+            unit_request("late", 1000, 1002, 2),
+        ]
+        for model_cls in ALL_MODELS:
+            solution = model_cls(sub, reqs).solve()
+            assert solution.num_embedded == 2
+
+    def test_tiny_durations(self):
+        sub = SubstrateNetwork()
+        sub.add_node("s", 1.0)
+        reqs = [unit_request(f"R{i}", 0, 1, 1e-3) for i in range(3)]
+        solution = CSigmaModel(sub, reqs).solve()
+        assert solution.num_embedded == 3
+        assert verify_solution(solution).feasible
+
+
+class TestTimeLimitedExtraction:
+    def test_feasible_status_extracts_cleanly(self):
+        """A time-limited solve with an incumbent must extract with a
+        recorded positive gap and verify feasible."""
+        from repro.workloads import small_scenario
+
+        scenario = small_scenario(0, num_requests=8).with_flexibility(3.0)
+        model = CSigmaModel(
+            scenario.substrate,
+            scenario.requests,
+            fixed_mappings=scenario.node_mappings,
+        )
+        solution = model.solve(time_limit=1.0)
+        if math.isnan(solution.objective):
+            pytest.skip("no incumbent inside the tiny budget on this machine")
+        assert verify_solution(solution).feasible
+        assert solution.gap >= 0.0
+
+    def test_no_solution_extraction(self):
+        from repro.mip.solution import Solution, SolveStatus
+
+        sub = SubstrateNetwork()
+        sub.add_node("s", 1.0)
+        model = CSigmaModel(sub, [unit_request("R", 0, 4, 2)])
+        empty = model.extract(
+            Solution(status=SolveStatus.NO_SOLUTION, runtime=1.0)
+        )
+        assert math.isnan(empty.objective)
+        assert math.isinf(empty.gap)
+        assert empty.runtime == 1.0
+
+
+class TestRequestsWithoutLinks:
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    def test_pure_compute_requests(self, model_cls):
+        """Requests with no virtual links exercise the node-only path."""
+        sub = SubstrateNetwork()
+        sub.add_node("s", 2.0)
+        reqs = [unit_request(f"R{i}", 0, 6, 2) for i in range(3)]
+        solution = model_cls(sub, reqs).solve()
+        assert solution.num_embedded == 3
+        for entry in solution.scheduled.values():
+            assert entry.link_flows == {}
+
+    def test_star_with_zero_link_demand(self):
+        sub = SubstrateNetwork()
+        sub.add_node("s", 5.0)
+        vnet = star("R", leaves=2, node_demand=1.0, link_demand=0.0)
+        request = Request(vnet, TemporalSpec(0, 4, 2))
+        solution = CSigmaModel(sub, [request]).solve()
+        # zero-demand links consume nothing even on a linkless substrate
+        assert solution.num_embedded == 1

@@ -1,0 +1,224 @@
+"""Tests of the independent Definition-2.1 verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import Request, SubstrateNetwork, TemporalSpec, VirtualNetwork
+from repro.network.topologies import chain
+from repro.tvnep import ScheduledRequest, TemporalSolution, verify_solution
+from repro.tvnep.feasibility import check_unit_flow
+
+
+def substrate():
+    sub = SubstrateNetwork()
+    for n in ("a", "b", "c"):
+        sub.add_node(n, 1.0)
+    sub.add_bidirectional_link("a", "b", 1.0)
+    sub.add_bidirectional_link("b", "c", 1.0)
+    return sub
+
+
+def unit_request(name, t_s=0.0, t_e=10.0, d=2.0, demand=1.0):
+    v = VirtualNetwork(name)
+    v.add_node("v", demand)
+    return Request(v, TemporalSpec(t_s, t_e, d))
+
+
+def entry(request, start, end, host="a", embedded=True):
+    return ScheduledRequest(
+        request=request,
+        embedded=embedded,
+        start=start,
+        end=end,
+        node_mapping={"v": host} if embedded else {},
+    )
+
+
+class TestScheduleChecks:
+    def test_valid_solution_passes(self):
+        sub = substrate()
+        sol = TemporalSolution(
+            sub, {"R": entry(unit_request("R"), 1.0, 3.0)}
+        )
+        assert verify_solution(sol).feasible
+
+    def test_duration_mismatch_detected(self):
+        sub = substrate()
+        sol = TemporalSolution(
+            sub, {"R": entry(unit_request("R"), 1.0, 4.0)}
+        )
+        report = verify_solution(sol)
+        assert any("duration" in v for v in report.violations)
+
+    def test_early_start_detected(self):
+        sub = substrate()
+        sol = TemporalSolution(
+            sub, {"R": entry(unit_request("R", t_s=2.0), 1.0, 3.0)}
+        )
+        report = verify_solution(sol)
+        assert any("before" in v for v in report.violations)
+
+    def test_late_end_detected(self):
+        sub = substrate()
+        sol = TemporalSolution(
+            sub, {"R": entry(unit_request("R", t_e=2.5), 1.0, 3.0)}
+        )
+        report = verify_solution(sol)
+        assert any("after" in v for v in report.violations)
+
+    def test_rejected_window_check_toggleable(self):
+        sub = substrate()
+        bad = entry(unit_request("R", t_e=2.5), 1.0, 3.0, embedded=False)
+        sol = TemporalSolution(sub, {"R": bad})
+        assert not verify_solution(sol, check_windows=True).feasible
+        assert verify_solution(sol, check_windows=False).feasible
+
+
+class TestMappingChecks:
+    def test_unmapped_node_detected(self):
+        sub = substrate()
+        bad = ScheduledRequest(
+            request=unit_request("R"), embedded=True, start=0.0, end=2.0
+        )
+        report = verify_solution(TemporalSolution(sub, {"R": bad}))
+        assert any("not mapped" in v for v in report.violations)
+
+    def test_unknown_host_detected(self):
+        sub = substrate()
+        bad = entry(unit_request("R"), 0.0, 2.0, host="zzz")
+        report = verify_solution(TemporalSolution(sub, {"R": bad}))
+        assert any("unknown node" in v for v in report.violations)
+
+
+class TestCapacityChecks:
+    def test_overlap_exceeding_capacity(self):
+        sub = substrate()
+        sol = TemporalSolution(
+            sub,
+            {
+                "A": entry(unit_request("A"), 0.0, 2.0),
+                "B": entry(unit_request("B"), 1.0, 3.0),
+            },
+        )
+        report = verify_solution(sol)
+        assert any("capacity exceeded" in v for v in report.violations)
+
+    def test_back_to_back_allowed(self):
+        sub = substrate()
+        sol = TemporalSolution(
+            sub,
+            {
+                "A": entry(unit_request("A"), 0.0, 2.0),
+                "B": entry(unit_request("B"), 2.0, 4.0),
+            },
+        )
+        assert verify_solution(sol).feasible
+
+    def test_nearly_back_to_back_snapped(self):
+        """Solver-tolerance slivers (1e-12) must not read as violations."""
+        sub = substrate()
+        sol = TemporalSolution(
+            sub,
+            {
+                "A": entry(unit_request("A"), 0.0, 2.0 + 1e-12),
+                "B": entry(unit_request("B", d=2.0), 2.0 - 1e-12, 4.0 - 1e-12),
+            },
+        )
+        assert verify_solution(sol).feasible
+
+    def test_disjoint_hosts_no_conflict(self):
+        sub = substrate()
+        sol = TemporalSolution(
+            sub,
+            {
+                "A": entry(unit_request("A"), 0.0, 2.0, host="a"),
+                "B": entry(unit_request("B"), 0.0, 2.0, host="b"),
+            },
+        )
+        assert verify_solution(sol).feasible
+
+    def test_link_capacity_violation(self):
+        sub = substrate()
+        request = Request(
+            chain("R", length=2, node_demand=0.4, link_demand=3.0),
+            TemporalSpec(0, 10, 2),
+        )
+        bad = ScheduledRequest(
+            request=request,
+            embedded=True,
+            start=0.0,
+            end=2.0,
+            node_mapping={"n0": "a", "n1": "b"},
+            link_flows={("n0", "n1"): {("a", "b"): 1.0}},
+        )
+        report = verify_solution(TemporalSolution(sub, {"R": bad}))
+        assert any(
+            "capacity exceeded" in v and "('a', 'b')" in v
+            for v in report.violations
+        )
+
+
+class TestFlowChecks:
+    def make_chain_entry(self, flows):
+        request = Request(
+            chain("R", length=2, node_demand=0.4, link_demand=0.5),
+            TemporalSpec(0, 10, 2),
+        )
+        return ScheduledRequest(
+            request=request,
+            embedded=True,
+            start=0.0,
+            end=2.0,
+            node_mapping={"n0": "a", "n1": "c"},
+            link_flows={("n0", "n1"): flows},
+        )
+
+    def test_valid_two_hop_flow(self):
+        sub = substrate()
+        entry = self.make_chain_entry({("a", "b"): 1.0, ("b", "c"): 1.0})
+        assert check_unit_flow(sub, entry, ("n0", "n1")) == []
+
+    def test_split_flow_valid(self):
+        sub = substrate()
+        sub.add_bidirectional_link("a", "c", 1.0)
+        entry = self.make_chain_entry(
+            {("a", "b"): 0.5, ("b", "c"): 0.5, ("a", "c"): 0.5}
+        )
+        assert check_unit_flow(sub, entry, ("n0", "n1")) == []
+
+    def test_broken_conservation_detected(self):
+        sub = substrate()
+        entry = self.make_chain_entry({("a", "b"): 1.0})  # never reaches c
+        problems = check_unit_flow(sub, entry, ("n0", "n1"))
+        assert any("conservation" in p for p in problems)
+
+    def test_flow_out_of_range_detected(self):
+        sub = substrate()
+        entry = self.make_chain_entry({("a", "b"): 1.4, ("b", "c"): 1.4})
+        problems = check_unit_flow(sub, entry, ("n0", "n1"))
+        assert any("outside [0, 1]" in p for p in problems)
+
+    def test_unknown_substrate_link_detected(self):
+        sub = substrate()
+        entry = self.make_chain_entry({("a", "zzz"): 1.0})
+        problems = check_unit_flow(sub, entry, ("n0", "n1"))
+        assert any("unknown substrate link" in p for p in problems)
+
+    def test_missing_endpoint_mapping(self):
+        sub = substrate()
+        entry = self.make_chain_entry({})
+        entry.node_mapping = {"n0": "a"}
+        problems = check_unit_flow(sub, entry, ("n0", "n1"))
+        assert problems == ["R: link ('n0', 'n1') endpoints not mapped"]
+
+    def test_report_repr(self):
+        from repro.tvnep import FeasibilityReport
+
+        report = FeasibilityReport()
+        assert bool(report)
+        assert "feasible" in repr(report)
+        for i in range(7):
+            report.add(f"violation {i}")
+        assert not report
+        assert "+2 more" in repr(report)

@@ -1,0 +1,146 @@
+"""Tests of the fixed-schedule link-embedding LP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.network import Request, SubstrateNetwork, TemporalSpec, line_substrate
+from repro.network.topologies import chain, star
+from repro.temporal import Interval
+from repro.tvnep import FixedPlacement, solve_fixed_schedule
+
+
+def star_request(name, leaves=1, node_demand=1.0, link_demand=1.0):
+    return Request(
+        star(name, leaves=leaves, node_demand=node_demand, link_demand=link_demand),
+        TemporalSpec(0, 100, 1),
+    )
+
+
+def chain_request(name, link_demand=1.0):
+    return Request(
+        chain(name, length=2, node_demand=0.5, link_demand=link_demand),
+        TemporalSpec(0, 100, 1),
+    )
+
+
+class TestNodeFeasibility:
+    def test_disjoint_in_time_ok(self):
+        sub = line_substrate(2, node_capacity=2.0, link_capacity=1.0)
+        placements = [
+            FixedPlacement(star_request("A"), {"center": "s0", "leaf0": "s0"}, Interval(0, 2)),
+            FixedPlacement(star_request("B"), {"center": "s0", "leaf0": "s0"}, Interval(2, 4)),
+        ]
+        result = solve_fixed_schedule(sub, placements)
+        assert result.feasible
+
+    def test_node_overload_detected(self):
+        sub = line_substrate(2, node_capacity=2.0, link_capacity=1.0)
+        placements = [
+            FixedPlacement(star_request("A"), {"center": "s0", "leaf0": "s0"}, Interval(0, 2)),
+            FixedPlacement(star_request("B"), {"center": "s0", "leaf0": "s0"}, Interval(1, 3)),
+        ]
+        result = solve_fixed_schedule(sub, placements)
+        assert not result.feasible
+        assert "node" in result.reason
+
+    def test_missing_mapping_rejected(self):
+        sub = line_substrate(2, node_capacity=2.0, link_capacity=1.0)
+        with pytest.raises(ValidationError):
+            solve_fixed_schedule(
+                sub,
+                [FixedPlacement(star_request("A"), {"center": "s0"}, Interval(0, 2))],
+            )
+
+
+class TestLinkFeasibility:
+    def test_flows_returned(self):
+        sub = line_substrate(3, node_capacity=1.0, link_capacity=1.0)
+        placement = FixedPlacement(
+            chain_request("A"), {"n0": "s0", "n1": "s2"}, Interval(0, 2)
+        )
+        result = solve_fixed_schedule(sub, [placement])
+        assert result.feasible
+        flows = result.link_flows["A"][("n0", "n1")]
+        assert flows[("s0", "s1")] == pytest.approx(1.0)
+        assert flows[("s1", "s2")] == pytest.approx(1.0)
+
+    def test_link_contention_infeasible(self):
+        sub = line_substrate(2, node_capacity=2.0, link_capacity=1.0)
+        placements = [
+            FixedPlacement(chain_request("A"), {"n0": "s0", "n1": "s1"}, Interval(0, 2)),
+            FixedPlacement(chain_request("B"), {"n0": "s0", "n1": "s1"}, Interval(1, 3)),
+        ]
+        result = solve_fixed_schedule(sub, placements)
+        assert not result.feasible
+        assert "LP infeasible" in result.reason
+
+    def test_link_contention_resolved_by_time(self):
+        sub = line_substrate(2, node_capacity=2.0, link_capacity=1.0)
+        placements = [
+            FixedPlacement(chain_request("A"), {"n0": "s0", "n1": "s1"}, Interval(0, 2)),
+            FixedPlacement(chain_request("B"), {"n0": "s0", "n1": "s1"}, Interval(2, 4)),
+        ]
+        result = solve_fixed_schedule(sub, placements)
+        assert result.feasible
+
+    def test_splittable_routing_used(self):
+        # two parallel 0.6-capacity paths, demand 1.0 -> must split
+        sub = SubstrateNetwork()
+        for n in ("a", "b", "c", "d"):
+            sub.add_node(n, 2.0)
+        sub.add_link("a", "b", 0.6)
+        sub.add_link("b", "d", 0.6)
+        sub.add_link("a", "c", 0.6)
+        sub.add_link("c", "d", 0.6)
+        placement = FixedPlacement(
+            chain_request("A"), {"n0": "a", "n1": "d"}, Interval(0, 2)
+        )
+        result = solve_fixed_schedule(sub, [placement])
+        assert result.feasible
+        flows = result.link_flows["A"][("n0", "n1")]
+        assert sum(f for ls, f in flows.items() if ls[0] == "a") == pytest.approx(1.0)
+        assert all(f <= 0.6 + 1e-6 for f in flows.values())
+
+    def test_colocated_needs_no_flow(self):
+        sub = line_substrate(2, node_capacity=2.0, link_capacity=1.0)
+        placement = FixedPlacement(
+            chain_request("A"), {"n0": "s0", "n1": "s0"}, Interval(0, 2)
+        )
+        result = solve_fixed_schedule(sub, [placement])
+        assert result.feasible
+        assert result.link_flows["A"] == {}
+
+
+class TestEdgeCases:
+    def test_empty_placements(self):
+        sub = line_substrate(2, 1.0, 1.0)
+        result = solve_fixed_schedule(sub, [])
+        assert result.feasible
+        assert result.link_flows == {}
+
+    def test_degenerate_interval_ignored(self):
+        sub = line_substrate(2, node_capacity=0.5, link_capacity=1.0)
+        placement = FixedPlacement(
+            star_request("A"), {"center": "s0", "leaf0": "s0"}, Interval(1, 1)
+        )
+        result = solve_fixed_schedule(sub, [placement])
+        assert result.feasible
+
+    def test_touching_intervals_do_not_contend(self):
+        sub = line_substrate(2, node_capacity=1.0, link_capacity=1.0)
+        placements = [
+            FixedPlacement(
+                star_request("A", node_demand=0.5),
+                {"center": "s0", "leaf0": "s1"},
+                Interval(0, 2),
+            ),
+            FixedPlacement(
+                star_request("B", node_demand=0.5),
+                {"center": "s0", "leaf0": "s1"},
+                Interval(2, 4),
+            ),
+        ]
+        result = solve_fixed_schedule(sub, placements)
+        assert result.feasible

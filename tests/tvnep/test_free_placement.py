@@ -1,0 +1,100 @@
+"""Free node placement: the models without a-priori mappings.
+
+The paper's evaluation fixes node mappings; the formulations themselves
+support free placement (Constraint 1 ranges over all substrate nodes).
+These tests exercise that joint placement + scheduling + routing path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import Request, SubstrateNetwork, TemporalSpec, line_substrate
+from repro.network.topologies import chain, star
+from repro.tvnep import CSigmaModel, DeltaModel, SigmaModel, verify_solution
+from repro.vnep import StaticVNEPModel
+
+
+def star_request(name, t_s, t_e, d, leaves=2, node_demand=1.0, link_demand=1.0):
+    return Request(
+        star(name, leaves=leaves, node_demand=node_demand, link_demand=link_demand),
+        TemporalSpec(t_s, t_e, d),
+    )
+
+
+class TestFreePlacement:
+    def test_all_models_agree_with_free_placement(self):
+        sub = line_substrate(3, node_capacity=1.0, link_capacity=3.0)
+        requests = [
+            star_request("A", 0, 4, 2),
+            star_request("B", 0, 4, 2),
+        ]
+        objectives = {}
+        for cls in (DeltaModel, SigmaModel, CSigmaModel):
+            solution = cls(sub, requests).solve(time_limit=120)
+            report = verify_solution(solution)
+            assert report.feasible, report.violations[:3]
+            objectives[cls.__name__] = solution.objective
+        values = list(objectives.values())
+        assert max(values) - min(values) < 1e-5
+
+    def test_placement_avoids_node_conflicts(self):
+        """With node caps of 1 the three star nodes must spread out."""
+        sub = line_substrate(3, node_capacity=1.0, link_capacity=3.0)
+        solution = CSigmaModel(sub, [star_request("A", 0, 2, 2)]).solve()
+        assert solution.num_embedded == 1
+        hosts = set(solution["A"].node_mapping.values())
+        assert len(hosts) == 3
+
+    def test_free_placement_beats_bad_fixed_mapping(self):
+        """A colocating mapping wastes capacity; free placement wins."""
+        sub = line_substrate(2, node_capacity=2.0, link_capacity=2.0)
+        requests = [
+            star_request("A", 0, 2, 2, leaves=1),
+            star_request("B", 0, 2, 2, leaves=1),
+        ]
+        # both requests forced onto host s0 entirely: only one fits
+        bad = {"A": {"center": "s0", "leaf0": "s0"},
+               "B": {"center": "s0", "leaf0": "s0"}}
+        fixed = CSigmaModel(sub, requests, fixed_mappings=bad).solve()
+        free = CSigmaModel(sub, requests).solve()
+        assert fixed.num_embedded == 1
+        assert free.num_embedded == 2
+
+    def test_scheduling_and_placement_jointly_optimized(self):
+        """Two requests that cannot coexist spatially are serialized
+        temporally instead of one being rejected."""
+        sub = SubstrateNetwork()
+        sub.add_node("only", 2.0)
+        requests = [
+            star_request("A", 0, 4, 2, leaves=1),
+            star_request("B", 0, 4, 2, leaves=1),
+        ]
+        solution = CSigmaModel(sub, requests).solve()
+        assert solution.num_embedded == 2
+        a, b = solution["A"], solution["B"]
+        assert a.end <= b.start + 1e-6 or b.end <= a.start + 1e-6
+
+    def test_matches_static_vnep_when_time_is_moot(self):
+        """Identical inflexible windows reduce the TVNEP to the static
+        VNEP — the optima must coincide."""
+        sub = line_substrate(3, node_capacity=2.0, link_capacity=2.0)
+        requests = [
+            star_request("A", 0, 2, 2, leaves=1),
+            star_request("B", 0, 2, 2, leaves=1),
+            star_request("C", 0, 2, 2, leaves=1),
+        ]
+        temporal = CSigmaModel(sub, requests).solve(time_limit=120)
+        static = StaticVNEPModel(sub, requests).solve(time_limit=120)
+        # static objective counts node demand; temporal weights by d=2
+        assert temporal.objective == pytest.approx(2.0 * static.objective, abs=1e-5)
+
+    def test_chain_request_free_routing(self):
+        sub = line_substrate(4, node_capacity=1.0, link_capacity=1.0)
+        request = Request(
+            chain("C", length=3, node_demand=1.0, link_demand=1.0),
+            TemporalSpec(0, 3, 1.5),
+        )
+        solution = CSigmaModel(sub, [request]).solve(time_limit=120)
+        assert solution.num_embedded == 1
+        assert verify_solution(solution).feasible

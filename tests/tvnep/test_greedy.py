@@ -1,0 +1,188 @@
+"""Tests of the greedy algorithm cSigma^G_A (Sec. V)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SolverError
+from repro.network import (
+    Request,
+    SubstrateNetwork,
+    TemporalSpec,
+    VirtualNetwork,
+    line_substrate,
+)
+from repro.network.topologies import star
+from repro.tvnep import CSigmaModel, greedy_csigma, verify_solution
+from repro.vnep import random_node_mapping
+
+
+def unit_request(name, t_s, t_e, d, demand=1.0):
+    v = VirtualNetwork(name)
+    v.add_node("v", demand)
+    return Request(v, TemporalSpec(t_s, t_e, d))
+
+
+def unit_mappings(requests, host="s"):
+    return {r.name: {"v": host} for r in requests}
+
+
+def one_node(cap=1.0):
+    sub = SubstrateNetwork()
+    sub.add_node("s", cap)
+    return sub
+
+
+class TestBasics:
+    def test_accepts_when_feasible(self):
+        sub = one_node()
+        reqs = [unit_request("A", 0, 4, 2), unit_request("B", 0, 4, 2)]
+        result = greedy_csigma(sub, reqs, unit_mappings(reqs))
+        assert result.solution.num_embedded == 2
+        assert verify_solution(result.solution).feasible
+
+    def test_rejects_when_conflicting(self):
+        sub = one_node()
+        reqs = [unit_request("A", 0, 2, 2), unit_request("B", 0, 2, 2)]
+        result = greedy_csigma(sub, reqs, unit_mappings(reqs))
+        assert result.solution.num_embedded == 1
+        assert len(result.accepted_order) == 1
+
+    def test_processes_in_earliest_start_order(self):
+        sub = one_node()
+        reqs = [
+            unit_request("late", 5, 8, 2),
+            unit_request("early", 0, 3, 2),
+        ]
+        result = greedy_csigma(sub, reqs, unit_mappings(reqs))
+        assert result.accepted_order == ["early", "late"]
+
+    def test_missing_mapping_rejected(self):
+        sub = one_node()
+        reqs = [unit_request("A", 0, 4, 2)]
+        with pytest.raises(SolverError):
+            greedy_csigma(sub, reqs, {})
+
+    def test_iteration_runtimes_recorded(self):
+        sub = one_node()
+        reqs = [unit_request(f"R{i}", i, i + 3, 1) for i in range(3)]
+        result = greedy_csigma(sub, reqs, unit_mappings(reqs))
+        assert len(result.iteration_runtimes) == 3
+        assert result.total_runtime > 0
+
+    def test_everything_rejected_still_returns_solution(self):
+        # substrate too small for any request
+        sub = one_node(cap=0.5)
+        reqs = [unit_request("A", 0, 4, 2), unit_request("B", 0, 4, 2)]
+        result = greedy_csigma(sub, reqs, unit_mappings(reqs))
+        assert result.solution.num_embedded == 0
+        assert len(result.solution.scheduled) == 2
+
+    def test_accepted_requests_start_early(self):
+        """Objective (21): accepted requests end as early as possible."""
+        sub = one_node()
+        reqs = [unit_request("A", 0, 10, 2)]
+        result = greedy_csigma(sub, reqs, unit_mappings(reqs))
+        assert result.solution["A"].start == pytest.approx(0.0, abs=1e-6)
+
+    def test_greedy_never_beats_exact(self):
+        sub = one_node()
+        reqs = [
+            unit_request("A", 0, 5, 2),
+            unit_request("B", 1, 5, 2),
+            unit_request("C", 0, 3, 1),
+        ]
+        mappings = unit_mappings(reqs)
+        greedy = greedy_csigma(sub, reqs, mappings)
+        exact = CSigmaModel(sub, reqs, fixed_mappings=mappings).solve()
+        assert greedy.solution.total_revenue() <= exact.objective + 1e-6
+
+
+class TestWithLinks:
+    def test_star_requests_on_line(self):
+        sub = line_substrate(3, node_capacity=3.0, link_capacity=2.0)
+        reqs = [
+            Request(
+                star(f"S{i}", leaves=2, node_demand=1.0, link_demand=1.0),
+                TemporalSpec(float(i), float(i) + 4.0, 2.0),
+            )
+            for i in range(3)
+        ]
+        mappings = {
+            r.name: random_node_mapping(sub, r, rng=i)
+            for i, r in enumerate(reqs)
+        }
+        result = greedy_csigma(sub, reqs, mappings)
+        report = verify_solution(result.solution)
+        assert report.feasible, report.violations[:3]
+
+    def test_link_reallocation_across_iterations(self):
+        """Accepted requests' flows are re-optimized every iteration, so a
+        later request can still fit even if the first greedy routing was
+        wasteful."""
+        sub = line_substrate(2, node_capacity=2.0, link_capacity=1.0)
+        # two chain requests forced onto opposite hosts, sharing one link
+        from repro.network.topologies import chain
+
+        reqs = [
+            Request(
+                chain(f"C{i}", length=2, node_demand=1.0, link_demand=0.5),
+                TemporalSpec(0.0, 4.0, 4.0),
+            )
+            for i in range(2)
+        ]
+        mappings = {
+            "C0": {"n0": "s0", "n1": "s1"},
+            "C1": {"n0": "s0", "n1": "s1"},
+        }
+        result = greedy_csigma(sub, reqs, mappings)
+        assert result.solution.num_embedded == 2
+        assert verify_solution(result.solution).feasible
+
+
+# ---------------------------------------------------------------------------
+@st.composite
+def greedy_instance(draw):
+    count = draw(st.integers(2, 4))
+    cap = draw(st.sampled_from([1.0, 2.0]))
+    reqs = []
+    for i in range(count):
+        start = draw(st.integers(0, 3)) * 1.0
+        duration = draw(st.integers(1, 3)) * 1.0
+        flexibility = draw(st.integers(0, 3)) * 1.0
+        demand = draw(st.sampled_from([0.5, 1.0]))
+        reqs.append(
+            unit_request(f"R{i}", start, start + duration + flexibility, duration, demand)
+        )
+    return cap, reqs
+
+
+@settings(max_examples=15, deadline=None)
+@given(greedy_instance())
+def test_greedy_always_feasible_and_bounded_by_exact(instance):
+    cap, reqs = instance
+    sub = one_node(cap)
+    mappings = unit_mappings(reqs)
+    greedy = greedy_csigma(sub, reqs, mappings)
+    assert verify_solution(greedy.solution).feasible
+    exact = CSigmaModel(sub, reqs, fixed_mappings=mappings).solve(time_limit=60)
+    assert greedy.solution.total_revenue() <= exact.objective + 1e-5
+
+
+class TestHarshTimeLimits:
+    def test_tiny_iteration_budget_still_covers_all_requests(self):
+        """Iterations that time out without an incumbent conservatively
+        reject, and the final solution still covers every request."""
+        from repro.workloads import small_scenario
+
+        scenario = small_scenario(0, num_requests=5).with_flexibility(2.0)
+        result = greedy_csigma(
+            scenario.substrate,
+            scenario.requests,
+            scenario.node_mappings,
+            time_limit_per_iteration=1e-4,
+        )
+        assert len(result.solution.scheduled) == 5
+        assert verify_solution(result.solution).feasible

@@ -1,0 +1,118 @@
+"""Tests of the polynomial enumerative greedy (Sec. V's argument)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import Request, SubstrateNetwork, TemporalSpec, VirtualNetwork
+from repro.tvnep import greedy_csigma, greedy_enumerative, verify_solution
+from repro.workloads import small_scenario
+
+
+def unit_request(name, t_s, t_e, d, demand=1.0):
+    v = VirtualNetwork(name)
+    v.add_node("v", demand)
+    return Request(v, TemporalSpec(t_s, t_e, d))
+
+
+def one_node(cap=1.0):
+    sub = SubstrateNetwork()
+    sub.add_node("s", cap)
+    return sub
+
+
+def unit_mappings(requests):
+    return {r.name: {"v": "s"} for r in requests}
+
+
+class TestBasics:
+    def test_accepts_and_serializes(self):
+        sub = one_node()
+        reqs = [unit_request("A", 0, 4, 2), unit_request("B", 0, 4, 2)]
+        result = greedy_enumerative(sub, reqs, unit_mappings(reqs))
+        assert result.solution.num_embedded == 2
+        assert verify_solution(result.solution).feasible
+
+    def test_earliest_start_chosen(self):
+        sub = one_node()
+        reqs = [unit_request("A", 0, 10, 2)]
+        result = greedy_enumerative(sub, reqs, unit_mappings(reqs))
+        assert result.solution["A"].start == pytest.approx(0.0)
+
+    def test_start_at_accepted_end(self):
+        sub = one_node()
+        reqs = [unit_request("A", 0, 2, 2), unit_request("B", 0, 6, 2)]
+        result = greedy_enumerative(sub, reqs, unit_mappings(reqs))
+        assert result.solution["B"].start == pytest.approx(2.0)
+
+    def test_reject_when_no_candidate_fits(self):
+        sub = one_node()
+        reqs = [unit_request("A", 0, 2, 2), unit_request("B", 0, 2, 2)]
+        result = greedy_enumerative(sub, reqs, unit_mappings(reqs))
+        assert result.solution.num_embedded == 1
+
+    def test_missing_mapping_rejected(self):
+        from repro.exceptions import SolverError
+
+        sub = one_node()
+        with pytest.raises(SolverError):
+            greedy_enumerative(sub, [unit_request("A", 0, 4, 2)], {})
+
+    def test_polynomial_iteration_count(self):
+        """Each request triggers at most |accepted|+1 LP solves."""
+        sub = one_node(cap=10.0)
+        reqs = [unit_request(f"R{i}", 0, 20, 1) for i in range(6)]
+        result = greedy_enumerative(sub, reqs, unit_mappings(reqs))
+        assert result.solution.num_embedded == 6
+        assert len(result.iteration_runtimes) == 6
+
+
+class TestAgreementWithMipGreedy:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("flexibility", [0.0, 1.0])
+    def test_same_acceptance_on_scenarios(self, seed, flexibility):
+        scenario = small_scenario(seed, num_requests=4).with_flexibility(flexibility)
+        mip = greedy_csigma(
+            scenario.substrate, scenario.requests, scenario.node_mappings
+        )
+        enum = greedy_enumerative(
+            scenario.substrate, scenario.requests, scenario.node_mappings
+        )
+        assert set(mip.solution.embedded_names()) == set(
+            enum.solution.embedded_names()
+        )
+        assert verify_solution(enum.solution).feasible
+        # identical revenue by identical acceptance
+        assert mip.solution.total_revenue() == pytest.approx(
+            enum.solution.total_revenue()
+        )
+
+
+@st.composite
+def instance(draw):
+    count = draw(st.integers(2, 5))
+    cap = draw(st.sampled_from([1.0, 2.0]))
+    reqs = []
+    for i in range(count):
+        start = draw(st.integers(0, 3)) * 1.0
+        duration = draw(st.integers(1, 3)) * 1.0
+        flexibility = draw(st.integers(0, 3)) * 1.0
+        demand = draw(st.sampled_from([0.5, 1.0]))
+        reqs.append(
+            unit_request(f"R{i}", start, start + duration + flexibility, duration, demand)
+        )
+    return cap, reqs
+
+
+@settings(max_examples=15, deadline=None)
+@given(instance())
+def test_enumerative_matches_mip_greedy(params):
+    cap, reqs = params
+    sub = one_node(cap)
+    mappings = unit_mappings(reqs)
+    mip = greedy_csigma(sub, reqs, mappings)
+    enum = greedy_enumerative(sub, reqs, mappings)
+    assert set(mip.solution.embedded_names()) == set(enum.solution.embedded_names())
+    assert verify_solution(enum.solution).feasible

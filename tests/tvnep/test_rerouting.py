@@ -1,0 +1,141 @@
+"""Tests of the temporal re-routing extension."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ModelingError
+from repro.network import Request, SubstrateNetwork, TemporalSpec
+from repro.network.topologies import chain
+from repro.tvnep import CSigmaModel
+from repro.tvnep.rerouting import ReroutingCSigmaModel
+from repro.workloads import small_scenario
+
+
+def diamond_substrate():
+    """Two parallel unit-capacity paths a -> {l, r} -> b."""
+    sub = SubstrateNetwork("diamond")
+    for n in ("a", "l", "r", "b"):
+        sub.add_node(n, 10.0)
+    sub.add_link("a", "l", 1.0)
+    sub.add_link("l", "b", 1.0)
+    sub.add_link("a", "r", 1.0)
+    sub.add_link("r", "b", 1.0)
+    return sub
+
+
+def job(name, t_s, t_e, d, demand=1.0):
+    vnet = chain(name, length=2, node_demand=0.1, link_demand=demand)
+    return Request(vnet, TemporalSpec(t_s, t_e, d))
+
+
+def moving_contention_instance():
+    """A needs a->b for [0,4]; B hogs the left path in [0,2], C the
+    right path in [2,4].  Static routing cannot serve all three;
+    re-routing A (left in [2,4], right in [0,2]) can."""
+    requests = [
+        job("A", 0, 4, 4),
+        job("B", 0, 2, 2),
+        job("C", 2, 4, 2),
+    ]
+    mappings = {
+        "A": {"n0": "a", "n1": "b"},
+        "B": {"n0": "a", "n1": "l"},
+        "C": {"n0": "a", "n1": "r"},
+    }
+    return diamond_substrate(), requests, mappings
+
+
+class TestStrictImprovement:
+    def test_static_rejects_one(self):
+        sub, requests, mappings = moving_contention_instance()
+        static = CSigmaModel(sub, requests, fixed_mappings=mappings).solve(
+            time_limit=60
+        )
+        assert static.num_embedded == 2
+
+    def test_rerouting_accepts_all(self):
+        sub, requests, mappings = moving_contention_instance()
+        model = ReroutingCSigmaModel(sub, requests, fixed_mappings=mappings)
+        schedule = model.solve_rerouting(time_limit=60)
+        assert schedule.num_embedded == 3
+        report = schedule.verify()
+        assert report.feasible, report.violations[:3]
+        # the long request actually re-routes
+        assert schedule.routing_changes("A") >= 1
+
+
+class TestDominance:
+    def test_requires_fixed_mappings(self):
+        sub, requests, _ = moving_contention_instance()
+        with pytest.raises(ModelingError):
+            ReroutingCSigmaModel(sub, requests, fixed_mappings={})
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_rerouting_never_worse_on_scenarios(self, seed):
+        scenario = small_scenario(seed, num_requests=4).with_flexibility(1.0)
+        static = CSigmaModel(
+            scenario.substrate,
+            scenario.requests,
+            fixed_mappings=scenario.node_mappings,
+        ).solve(time_limit=60)
+        model = ReroutingCSigmaModel(
+            scenario.substrate,
+            scenario.requests,
+            fixed_mappings=scenario.node_mappings,
+        )
+        schedule = model.solve_rerouting(time_limit=60)
+        assert schedule.verify().feasible
+        assert schedule.objective >= static.objective - 1e-5
+
+    def test_forced_flags_respected(self):
+        sub, requests, mappings = moving_contention_instance()
+        model = ReroutingCSigmaModel(
+            sub, requests, fixed_mappings=mappings, force_rejected=["B"]
+        )
+        schedule = model.solve_rerouting(time_limit=60)
+        assert "B" not in schedule.base.embedded_names()
+
+    def test_static_routing_counts_zero_changes(self):
+        sub = diamond_substrate()
+        requests = [job("A", 0, 4, 4)]
+        mappings = {"A": {"n0": "a", "n1": "b"}}
+        model = ReroutingCSigmaModel(sub, requests, fixed_mappings=mappings)
+        schedule = model.solve_rerouting(time_limit=60)
+        assert schedule.num_embedded == 1
+        assert schedule.routing_changes("A") == 0
+
+
+@st.composite
+def random_rerouting_instance(draw):
+    count = draw(st.integers(2, 3))
+    requests = []
+    mappings = {}
+    hosts = ["a", "l", "r", "b"]
+    for i in range(count):
+        start = draw(st.integers(0, 2)) * 1.0
+        duration = draw(st.integers(1, 3)) * 1.0
+        flexibility = draw(st.integers(0, 2)) * 1.0
+        demand = draw(st.sampled_from([0.5, 1.0]))
+        requests.append(
+            job(f"R{i}", start, start + duration + flexibility, duration, demand)
+        )
+        src = draw(st.sampled_from(hosts))
+        dst = draw(st.sampled_from(hosts))
+        mappings[f"R{i}"] = {"n0": src, "n1": dst}
+    return requests, mappings
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_rerouting_instance())
+def test_rerouting_dominates_static(params):
+    requests, mappings = params
+    sub = diamond_substrate()
+    static = CSigmaModel(sub, requests, fixed_mappings=mappings).solve(time_limit=60)
+    schedule = ReroutingCSigmaModel(
+        sub, requests, fixed_mappings=mappings
+    ).solve_rerouting(time_limit=60)
+    assert schedule.verify().feasible
+    assert schedule.objective >= static.objective - 1e-5

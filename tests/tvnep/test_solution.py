@@ -1,0 +1,119 @@
+"""Tests of the TemporalSolution/ScheduledRequest containers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.network import Request, SubstrateNetwork, TemporalSpec, VirtualNetwork
+from repro.network.topologies import star
+from repro.temporal import Interval
+from repro.tvnep import ScheduledRequest, TemporalSolution
+
+
+def substrate():
+    sub = SubstrateNetwork()
+    sub.add_node("u", 2.0)
+    sub.add_node("v", 2.0)
+    sub.add_link("u", "v", 1.0)
+    return sub
+
+
+def star_request(name="R"):
+    return Request(
+        star(name, leaves=1, node_demand=1.0, link_demand=0.5),
+        TemporalSpec(0, 10, 2),
+    )
+
+
+def scheduled(name="R", embedded=True):
+    request = star_request(name)
+    return ScheduledRequest(
+        request=request,
+        embedded=embedded,
+        start=1.0,
+        end=3.0,
+        node_mapping={"center": "u", "leaf0": "v"} if embedded else {},
+        link_flows=(
+            {("leaf0", "center"): {("v", "u"): 1.0}} if embedded else {}
+        ),
+    )
+
+
+class TestScheduledRequest:
+    def test_interval(self):
+        entry = scheduled()
+        assert entry.interval == Interval(1.0, 3.0)
+
+    def test_node_usage(self):
+        entry = scheduled()
+        assert entry.node_usage() == {"u": 1.0, "v": 1.0}
+
+    def test_link_usage_scales_by_demand(self):
+        entry = scheduled()
+        assert entry.link_usage() == {("v", "u"): pytest.approx(0.5)}
+
+    def test_rejected_usage_empty(self):
+        entry = scheduled(embedded=False)
+        assert entry.node_usage() == {}
+        assert entry.link_usage() == {}
+
+    def test_colocated_usage_accumulates(self):
+        request = star_request()
+        entry = ScheduledRequest(
+            request=request,
+            embedded=True,
+            start=0.0,
+            end=2.0,
+            node_mapping={"center": "u", "leaf0": "u"},
+        )
+        assert entry.node_usage() == {"u": 2.0}
+
+
+class TestTemporalSolution:
+    def make(self):
+        entries = {
+            "A": scheduled("A"),
+            "B": scheduled("B", embedded=False),
+        }
+        return TemporalSolution(
+            substrate(), entries, objective=5.0, model_name="test"
+        )
+
+    def test_lookup(self):
+        sol = self.make()
+        assert sol["A"].embedded
+        assert "B" in sol
+        assert len(sol) == 2
+        with pytest.raises(ValidationError):
+            sol["missing"]
+
+    def test_embedded_names(self):
+        sol = self.make()
+        assert sol.embedded_names() == ["A"]
+        assert sol.rejected_names() == ["B"]
+        assert sol.num_embedded == 1
+        assert sol.acceptance_ratio() == pytest.approx(0.5)
+
+    def test_total_revenue(self):
+        sol = self.make()
+        # A: duration 2 x node demand (1+1) = 4
+        assert sol.total_revenue() == pytest.approx(4.0)
+
+    def test_makespan(self):
+        sol = self.make()
+        assert sol.makespan() == pytest.approx(3.0)
+
+    def test_makespan_empty(self):
+        sol = TemporalSolution(substrate(), {})
+        assert sol.makespan() == 0.0
+        assert sol.acceptance_ratio() == 0.0
+
+    def test_summary_handles_nan(self):
+        sol = TemporalSolution(
+            substrate(), {}, objective=math.nan, gap=math.inf
+        )
+        text = sol.summary()
+        assert "inf" in text

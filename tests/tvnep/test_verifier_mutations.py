@@ -1,0 +1,179 @@
+"""Mutation testing of the feasibility verifier.
+
+The verifier is the test suite's oracle — so it needs its own
+adversarial test: take a known-feasible solution and corrupt it in
+every way Definition 2.1 rules out.  Each mutation must be detected.
+(A verifier that silently accepts a corrupted solution would quietly
+invalidate the entire cross-model agreement story.)
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.tvnep import CSigmaModel, verify_solution
+from repro.tvnep.solution import ScheduledRequest, TemporalSolution
+from repro.workloads import small_scenario
+
+
+@pytest.fixture(scope="module")
+def feasible_solution():
+    scenario = small_scenario(0, num_requests=4).with_flexibility(1.0)
+    solution = CSigmaModel(
+        scenario.substrate, scenario.requests, fixed_mappings=scenario.node_mappings
+    ).solve(time_limit=60)
+    assert verify_solution(solution).feasible
+    assert solution.num_embedded >= 2
+    return solution
+
+
+def clone(solution: TemporalSolution) -> TemporalSolution:
+    scheduled = {
+        name: ScheduledRequest(
+            request=entry.request,
+            embedded=entry.embedded,
+            start=entry.start,
+            end=entry.end,
+            node_mapping=dict(entry.node_mapping),
+            link_flows=copy.deepcopy(entry.link_flows),
+        )
+        for name, entry in solution.scheduled.items()
+    }
+    return TemporalSolution(
+        solution.substrate,
+        scheduled,
+        objective=solution.objective,
+        model_name=solution.model_name,
+    )
+
+
+def first_embedded(solution: TemporalSolution) -> ScheduledRequest:
+    return solution[solution.embedded_names()[0]]
+
+
+class TestScheduleMutations:
+    def test_stretch_duration_detected(self, feasible_solution):
+        mutant = clone(feasible_solution)
+        entry = first_embedded(mutant)
+        entry.end += 0.5
+        assert not verify_solution(mutant).feasible
+
+    def test_shift_before_window_detected(self, feasible_solution):
+        mutant = clone(feasible_solution)
+        entry = first_embedded(mutant)
+        shift = entry.request.earliest_start + 1.0
+        entry.start -= shift
+        entry.end -= shift
+        assert not verify_solution(mutant).feasible
+
+    def test_shift_past_window_detected(self, feasible_solution):
+        mutant = clone(feasible_solution)
+        entry = first_embedded(mutant)
+        entry.start += 100.0
+        entry.end += 100.0
+        assert not verify_solution(mutant).feasible
+
+
+class TestMappingMutations:
+    def test_drop_node_mapping_detected(self, feasible_solution):
+        mutant = clone(feasible_solution)
+        entry = first_embedded(mutant)
+        entry.node_mapping.pop(next(iter(entry.node_mapping)))
+        assert not verify_solution(mutant).feasible
+
+    def test_map_to_ghost_host_detected(self, feasible_solution):
+        mutant = clone(feasible_solution)
+        entry = first_embedded(mutant)
+        v = next(iter(entry.node_mapping))
+        entry.node_mapping[v] = "ghost-host"
+        assert not verify_solution(mutant).feasible
+
+    def test_teleport_endpoint_breaks_flow(self, feasible_solution):
+        """Moving a VM without re-routing must break conservation."""
+        mutant = clone(feasible_solution)
+        for name in mutant.embedded_names():
+            entry = mutant[name]
+            if not entry.request.vnet.links:
+                continue
+            v = entry.request.vnet.links[0][0]
+            old = entry.node_mapping[v]
+            substitute = next(
+                n for n in mutant.substrate.nodes if n != old
+            )
+            entry.node_mapping[v] = substitute
+            assert not verify_solution(mutant).feasible
+            return
+        pytest.skip("no embedded request with links")
+
+
+class TestFlowMutations:
+    def _entry_with_flows(self, solution):
+        for name in solution.embedded_names():
+            entry = solution[name]
+            if entry.link_flows and any(entry.link_flows.values()):
+                return entry
+        return None
+
+    def test_deleting_flows_detected(self, feasible_solution):
+        mutant = clone(feasible_solution)
+        entry = self._entry_with_flows(mutant)
+        if entry is None:
+            pytest.skip("no routed flows in this solution")
+        entry.link_flows = {lv: {} for lv in entry.link_flows}
+        assert not verify_solution(mutant).feasible
+
+    def test_halving_flows_detected(self, feasible_solution):
+        mutant = clone(feasible_solution)
+        entry = self._entry_with_flows(mutant)
+        if entry is None:
+            pytest.skip("no routed flows in this solution")
+        for flows in entry.link_flows.values():
+            for ls in flows:
+                flows[ls] *= 0.5
+        assert not verify_solution(mutant).feasible
+
+    def test_overdriving_flows_detected(self, feasible_solution):
+        mutant = clone(feasible_solution)
+        entry = self._entry_with_flows(mutant)
+        if entry is None:
+            pytest.skip("no routed flows in this solution")
+        for flows in entry.link_flows.values():
+            for ls in flows:
+                flows[ls] = 1.6  # outside [0, 1]
+        assert not verify_solution(mutant).feasible
+
+
+class TestCapacityMutations:
+    def test_overlapping_clone_detected(self, feasible_solution):
+        """Duplicating an embedded request at the same time and place
+        must blow its hosts' capacities (demands are >= 1, caps 3.5)."""
+        mutant = clone(feasible_solution)
+        names = mutant.embedded_names()
+        if len(names) < 1:
+            pytest.skip("nothing embedded")
+        entry = mutant[names[0]]
+        duplicate = ScheduledRequest(
+            request=entry.request.with_schedule(entry.start, entry.end),
+            embedded=True,
+            start=entry.start,
+            end=entry.end,
+            node_mapping=dict(entry.node_mapping),
+            link_flows=copy.deepcopy(entry.link_flows),
+        )
+        # three stacked copies certainly exceed a 3.5 cap with demands >= 1
+        mutant.scheduled["clone1"] = duplicate
+        mutant.scheduled["clone2"] = ScheduledRequest(
+            request=duplicate.request,
+            embedded=True,
+            start=entry.start,
+            end=entry.end,
+            node_mapping=dict(entry.node_mapping),
+            link_flows=copy.deepcopy(entry.link_flows),
+        )
+        report = verify_solution(mutant, check_windows=False)
+        assert any("capacity exceeded" in v for v in report.violations)
+
+    def test_unmutated_clone_still_passes(self, feasible_solution):
+        assert verify_solution(clone(feasible_solution)).feasible

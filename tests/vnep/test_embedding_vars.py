@@ -1,0 +1,155 @@
+"""Tests of the shared embedding variables and constraints (1)-(2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ModelingError
+from repro.mip import Model, ObjectiveSense, solve
+from repro.network import Request, SubstrateNetwork, TemporalSpec, line_substrate
+from repro.network.topologies import chain, star
+from repro.vnep import EmbeddingVariables
+
+
+def star_request(name="R", leaves=2):
+    vnet = star(name, leaves=leaves, node_demand=1.0, link_demand=1.0)
+    return Request(vnet, TemporalSpec(0, 10, 1))
+
+
+class TestConstruction:
+    def test_variable_counts_free_mapping(self):
+        sub = line_substrate(3, 3.0, 2.0)
+        m = Model()
+        emb = EmbeddingVariables(m, sub, star_request())
+        # 3 virtual nodes x 3 hosts + 2 vlinks x 4 slinks + x_R
+        assert len(emb.x_node) == 9
+        assert len(emb.x_link) == 8
+
+    def test_variable_counts_fixed_mapping(self):
+        sub = line_substrate(3, 3.0, 2.0)
+        m = Model()
+        mapping = {"center": "s0", "leaf0": "s1", "leaf1": "s2"}
+        emb = EmbeddingVariables(m, sub, star_request(), fixed_mapping=mapping)
+        assert len(emb.x_node) == 3  # only the mapped placements
+
+    def test_fixed_mapping_must_cover_all_nodes(self):
+        sub = line_substrate(3, 3.0, 2.0)
+        m = Model()
+        with pytest.raises(ModelingError):
+            EmbeddingVariables(
+                m, sub, star_request(), fixed_mapping={"center": "s0"}
+            )
+
+    def test_fixed_mapping_target_must_exist(self):
+        sub = line_substrate(2, 3.0, 2.0)
+        m = Model()
+        with pytest.raises(ModelingError):
+            EmbeddingVariables(
+                m,
+                sub,
+                star_request(leaves=1),
+                fixed_mapping={"center": "s0", "leaf0": "zzz"},
+            )
+
+    def test_force_flags_conflict(self):
+        sub = line_substrate(2, 3.0, 2.0)
+        m = Model()
+        with pytest.raises(ModelingError):
+            EmbeddingVariables(
+                m, sub, star_request(), force_embedded=True, force_rejected=True
+            )
+
+    def test_force_embedded_pins_x(self):
+        sub = line_substrate(3, 3.0, 2.0)
+        m = Model()
+        emb = EmbeddingVariables(m, sub, star_request(), force_embedded=True)
+        assert emb.x_embed.lb == emb.x_embed.ub == 1.0
+
+
+class TestFlowConstruction:
+    def solve_single(self, sub, request, mapping=None):
+        m = Model()
+        emb = EmbeddingVariables(m, sub, request, fixed_mapping=mapping)
+        m.fix_var(emb.x_embed, 1.0)
+        m.set_objective(
+            sum(
+                (emb.alloc_link(ls) for ls in sub.links),
+                start=emb.alloc_node(sub.nodes[0]) * 0,
+            ),
+            ObjectiveSense.MINIMIZE,
+        )
+        sol = solve(m)
+        return emb, sol
+
+    def test_distant_hosts_route_over_path(self):
+        sub = line_substrate(3, 3.0, 2.0)
+        request = Request(
+            chain("c", length=2, node_demand=1.0, link_demand=1.0),
+            TemporalSpec(0, 10, 1),
+        )
+        mapping = {"n0": "s0", "n1": "s2"}
+        emb, sol = self.solve_single(sub, request, mapping)
+        assert sol.is_optimal
+        # flow must traverse both hops: total allocation = 2 links x 1 unit
+        total = sum(sol.value(emb.alloc_link(ls)) for ls in sub.links)
+        assert total == pytest.approx(2.0)
+
+    def test_colocated_hosts_need_no_flow(self):
+        sub = line_substrate(3, 3.0, 2.0)
+        request = Request(
+            chain("c", length=2, node_demand=1.0, link_demand=1.0),
+            TemporalSpec(0, 10, 1),
+        )
+        mapping = {"n0": "s1", "n1": "s1"}
+        emb, sol = self.solve_single(sub, request, mapping)
+        total = sum(sol.value(emb.alloc_link(ls)) for ls in sub.links)
+        assert total == pytest.approx(0.0)
+
+    def test_rejected_request_has_no_placement(self):
+        sub = line_substrate(2, 3.0, 2.0)
+        m = Model()
+        emb = EmbeddingVariables(m, sub, star_request(leaves=1))
+        m.fix_var(emb.x_embed, 0.0)
+        m.set_objective(
+            sum((emb.alloc_node(s) for s in sub.nodes), start=emb.x_embed * 0),
+            ObjectiveSense.MAXIMIZE,
+        )
+        sol = solve(m)
+        assert sol.objective == pytest.approx(0.0)
+
+
+class TestMacros:
+    def test_alloc_node_coefficients(self):
+        sub = line_substrate(2, 3.0, 2.0)
+        m = Model()
+        vnet = star("R", leaves=1, node_demand=[2.0, 0.5], link_demand=1.0)
+        request = Request(vnet, TemporalSpec(0, 5, 1))
+        emb = EmbeddingVariables(m, sub, request)
+        expr = emb.alloc_node("s0")
+        assert expr.coefficient(emb.x_node[("center", "s0")]) == 2.0
+        assert expr.coefficient(emb.x_node[("leaf0", "s0")]) == 0.5
+
+    def test_alloc_link_coefficients(self):
+        sub = line_substrate(2, 3.0, 2.0)
+        m = Model()
+        request = star_request(leaves=1)
+        emb = EmbeddingVariables(m, sub, request)
+        lv = request.vnet.links[0]
+        ls = sub.links[0]
+        assert emb.alloc_link(ls).coefficient(emb.x_link[(lv, ls)]) == 1.0
+
+    def test_alloc_dispatch(self):
+        sub = line_substrate(2, 3.0, 2.0)
+        m = Model()
+        emb = EmbeddingVariables(m, sub, star_request(leaves=1))
+        assert len(emb.alloc("s0")) > 0
+        assert len(emb.alloc(("s0", "s1"))) > 0
+
+    def test_alloc_upper_bound(self):
+        sub = line_substrate(2, 3.0, 2.0)
+        m = Model()
+        emb = EmbeddingVariables(m, sub, star_request(leaves=1))
+        # node: min(cap=3, total node demand=2) = 2
+        assert emb.alloc_upper_bound("s0") == pytest.approx(2.0)
+        # link: min(cap=2, total link demand=1) = 1
+        assert emb.alloc_upper_bound(("s0", "s1")) == pytest.approx(1.0)

@@ -1,0 +1,201 @@
+"""Tests of the static mapping heuristics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.network import Request, SubstrateNetwork, TemporalSpec, line_substrate
+from repro.network.topologies import chain, star
+from repro.vnep import (
+    greedy_node_mapping,
+    link_mapping_usage,
+    random_node_mapping,
+    shortest_path_link_mapping,
+)
+
+
+def star_request(name="R", leaves=2, node_demand=1.0):
+    return Request(
+        star(name, leaves=leaves, node_demand=node_demand, link_demand=1.0),
+        TemporalSpec(0, 10, 1),
+    )
+
+
+class TestRandomMapping:
+    def test_covers_all_nodes(self):
+        sub = line_substrate(4, 2.0, 2.0)
+        request = star_request()
+        mapping = random_node_mapping(sub, request, rng=0)
+        assert set(mapping) == set(request.vnet.nodes)
+        assert all(sub.has_node(host) for host in mapping.values())
+
+    def test_reproducible(self):
+        sub = line_substrate(4, 2.0, 2.0)
+        request = star_request()
+        a = random_node_mapping(sub, request, rng=7)
+        b = random_node_mapping(sub, request, rng=7)
+        assert a == b
+
+    def test_no_capacity_check(self):
+        """The paper's methodology: collisions are allowed."""
+        sub = SubstrateNetwork()
+        sub.add_node("only", 0.5)
+        mapping = random_node_mapping(sub, star_request(), rng=0)
+        assert set(mapping.values()) == {"only"}
+
+
+class TestGreedyMapping:
+    def test_respects_capacity(self):
+        sub = line_substrate(3, node_capacity=1.0, link_capacity=2.0)
+        mapping = greedy_node_mapping(sub, star_request())
+        assert mapping is not None
+        assert len(set(mapping.values())) == 3
+
+    def test_packs_when_capacity_allows(self):
+        sub = line_substrate(3, node_capacity=3.0, link_capacity=2.0)
+        mapping = greedy_node_mapping(sub, star_request())
+        assert mapping is not None
+        # best-fit packs all three unit demands on one host
+        assert len(set(mapping.values())) == 1
+
+    def test_returns_none_when_impossible(self):
+        sub = SubstrateNetwork()
+        sub.add_node("s", 1.5)
+        mapping = greedy_node_mapping(sub, star_request())  # needs 3 units
+        assert mapping is None
+
+    def test_residual_capacities_respected(self):
+        sub = line_substrate(2, node_capacity=2.0, link_capacity=2.0)
+        mapping = greedy_node_mapping(
+            sub, star_request(leaves=1), residual_node_capacity={"s0": 0.0, "s1": 2.0}
+        )
+        assert mapping is not None
+        assert set(mapping.values()) == {"s1"}
+
+    def test_biggest_demand_placed_first(self):
+        sub = SubstrateNetwork()
+        sub.add_node("big", 2.0)
+        sub.add_node("small", 1.0)
+        vnet = star("R", leaves=1, node_demand=[2.0, 1.0], link_demand=1.0)
+        request = Request(vnet, TemporalSpec(0, 5, 1))
+        mapping = greedy_node_mapping(sub, request)
+        assert mapping == {"center": "big", "leaf0": "small"}
+
+
+class TestShortestPathMapping:
+    def test_routes_along_path(self):
+        sub = line_substrate(3, 2.0, 2.0)
+        request = Request(
+            chain("c", length=2, node_demand=1.0, link_demand=1.0),
+            TemporalSpec(0, 5, 1),
+        )
+        routes = shortest_path_link_mapping(
+            sub, request, {"n0": "s0", "n1": "s2"}
+        )
+        assert routes == {("n0", "n1"): [("s0", "s1"), ("s1", "s2")]}
+
+    def test_colocated_empty_path(self):
+        sub = line_substrate(2, 2.0, 2.0)
+        request = Request(
+            chain("c", length=2, node_demand=1.0, link_demand=1.0),
+            TemporalSpec(0, 5, 1),
+        )
+        routes = shortest_path_link_mapping(
+            sub, request, {"n0": "s0", "n1": "s0"}
+        )
+        assert routes == {("n0", "n1"): []}
+
+    def test_disconnected_returns_none(self):
+        sub = SubstrateNetwork()
+        sub.add_node("u", 1.0)
+        sub.add_node("v", 1.0)
+        sub.add_node("w", 1.0)
+        sub.add_link("u", "v", 1.0)  # w unreachable
+        request = Request(
+            chain("c", length=2, node_demand=1.0, link_demand=1.0),
+            TemporalSpec(0, 5, 1),
+        )
+        routes = shortest_path_link_mapping(
+            sub, request, {"n0": "u", "n1": "w"}
+        )
+        assert routes is None
+
+    def test_missing_mapping_raises(self):
+        sub = line_substrate(2, 2.0, 2.0)
+        request = Request(
+            chain("c", length=2, node_demand=1.0, link_demand=1.0),
+            TemporalSpec(0, 5, 1),
+        )
+        with pytest.raises(ValidationError):
+            shortest_path_link_mapping(sub, request, {"n0": "s0"})
+
+
+class TestUsageAggregation:
+    def test_usage_sums_demands(self):
+        request = Request(
+            star("R", leaves=2, node_demand=1.0, link_demand=[2.0, 3.0]),
+            TemporalSpec(0, 5, 1),
+        )
+        lv0, lv1 = request.vnet.links
+        routes = {lv0: [("a", "b")], lv1: [("a", "b"), ("b", "c")]}
+        usage = link_mapping_usage(request, routes)
+        assert usage[("a", "b")] == pytest.approx(5.0)
+        assert usage[("b", "c")] == pytest.approx(3.0)
+
+    def test_empty_routes(self):
+        request = star_request()
+        assert link_mapping_usage(request, {lv: [] for lv in request.vnet.links}) == {}
+
+
+class TestDeriveMappings:
+    def test_greedy_method_respects_capacity_per_request(self):
+        from repro.vnep import derive_mappings
+        from repro.workloads import small_scenario
+
+        scenario = small_scenario(0, num_requests=5)
+        mappings = derive_mappings(
+            scenario.substrate, scenario.requests, method="greedy"
+        )
+        assert set(mappings) == {r.name for r in scenario.requests}
+        for request in scenario.requests:
+            load = {}
+            for v, host in mappings[request.name].items():
+                load[host] = load.get(host, 0.0) + request.vnet.node_demand(v)
+            for host, amount in load.items():
+                assert amount <= scenario.substrate.node_capacity(host) + 1e-9
+
+    def test_random_method_reproducible(self):
+        from repro.vnep import derive_mappings
+        from repro.workloads import small_scenario
+
+        scenario = small_scenario(1, num_requests=3)
+        a = derive_mappings(scenario.substrate, scenario.requests, "random", rng=5)
+        b = derive_mappings(scenario.substrate, scenario.requests, "random", rng=5)
+        assert a == b
+
+    def test_unknown_method_rejected(self):
+        from repro.vnep import derive_mappings
+
+        sub = line_substrate(2, 2.0, 2.0)
+        with pytest.raises(ValidationError):
+            derive_mappings(sub, [star_request()], method="psychic")
+
+    def test_greedy_mappings_feed_the_greedy_algorithm(self):
+        from repro.tvnep import greedy_csigma, verify_solution
+        from repro.vnep import derive_mappings
+        from repro.workloads import small_scenario
+
+        scenario = small_scenario(2, num_requests=4).with_flexibility(1.0)
+        mappings = derive_mappings(scenario.substrate, scenario.requests)
+        result = greedy_csigma(scenario.substrate, scenario.requests, mappings)
+        assert verify_solution(result.solution).feasible
+        # capacity-aware mappings make every request individually
+        # placeable, so nothing is rejected for self-overload
+        from repro.network.validation import lint_instance
+
+        report = lint_instance(
+            scenario.substrate, scenario.requests, mappings
+        )
+        assert not any("always be rejected" in w for w in report.warnings)
