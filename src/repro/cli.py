@@ -27,9 +27,11 @@ Example
 from __future__ import annotations
 
 import argparse
+import logging
 import math
 import sys
 
+from repro.exceptions import SolverError, ValidationError
 from repro.io import Instance, load_instance, load_solution, save_instance, save_solution
 
 __all__ = ["main", "build_parser"]
@@ -38,6 +40,12 @@ __all__ = ["main", "build_parser"]
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Temporal VNet Embedding (TVNEP) toolkit"
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default="warning",
+        help="verbosity of the repro.runtime resilience log",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -67,7 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="access_control",
     )
     solve.add_argument("--time-limit", type=float, default=None)
-    solve.add_argument("--backend", choices=["highs", "bnb"], default="highs")
+    solve.add_argument(
+        "--backend", choices=["highs", "bnb", "resilient"], default="highs"
+    )
+    solve.add_argument(
+        "--wall-clock-budget",
+        type=float,
+        default=None,
+        help="global wall-clock budget [s] for the whole solve",
+    )
     solve.add_argument("--slot-length", type=float, default=0.5,
                        help="grid resolution for --model discrete")
     solve.add_argument("-o", "--output", default=None)
@@ -87,6 +103,17 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--paper", action="store_true")
     evaluate.add_argument("--seeds", type=int, nargs="+", default=None)
     evaluate.add_argument("--time-limit", type=float, default=None)
+    evaluate.add_argument(
+        "--wall-clock-budget",
+        type=float,
+        default=None,
+        help="global wall-clock budget [s] for the whole sweep",
+    )
+    evaluate.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="disable the backend fallback chain (fail cells instead)",
+    )
     evaluate.add_argument("--charts", action="store_true")
     evaluate.add_argument("--store", default=None,
                           help="JSON-lines record store (enables resume)")
@@ -139,6 +166,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     instance = load_instance(args.instance)
     mappings = instance.node_mappings or None
+    budget = None
+    if args.wall_clock_budget is not None:
+        from repro.runtime import SolveBudget
+
+        budget = SolveBudget(args.wall_clock_budget)
 
     if args.model in ("greedy", "greedy-enum"):
         if args.objective != "access_control":
@@ -147,8 +179,19 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         if not mappings:
             print("greedy requires node mappings in the instance", file=sys.stderr)
             return 2
-        runner = greedy_csigma if args.model == "greedy" else greedy_enumerative
-        solution = runner(instance.substrate, instance.requests, mappings).solution
+        if args.model == "greedy":
+            solution = greedy_csigma(
+                instance.substrate,
+                instance.requests,
+                mappings,
+                backend=args.backend,
+                time_limit_per_iteration=args.time_limit,
+                budget=budget,
+            ).solution
+        else:
+            solution = greedy_enumerative(
+                instance.substrate, instance.requests, mappings
+            ).solution
     elif args.model == "discrete":
         model = DiscreteTimeModel(
             instance.substrate,
@@ -156,7 +199,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             slot_length=args.slot_length,
             fixed_mappings=mappings,
         )
-        solution = model.solve(backend=args.backend, time_limit=args.time_limit)
+        solution = model.solve(
+            backend=args.backend, time_limit=args.time_limit, budget=budget
+        )
     else:
         cls = {"csigma": CSigmaModel, "sigma": SigmaModel, "delta": DeltaModel}[
             args.model
@@ -176,9 +221,13 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
             write_lp_file(model.model, args.lp_out)
             print(f"wrote LP file {args.lp_out}")
-        solution = model.solve(backend=args.backend, time_limit=args.time_limit)
+        solution = model.solve(
+            backend=args.backend, time_limit=args.time_limit, budget=budget
+        )
 
     print(solution.summary())
+    if getattr(solution, "rung", ""):
+        print(f"answered by fallback rung: {solution.rung}")
     if math.isnan(solution.objective):
         print("no solution found", file=sys.stderr)
         return 1
@@ -248,6 +297,10 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         config = replace(config, seeds=tuple(args.seeds))
     if args.time_limit is not None:
         config = replace(config, time_limit=args.time_limit)
+    if args.wall_clock_budget is not None:
+        config = replace(config, wall_clock_budget=args.wall_clock_budget)
+    if args.no_fallback:
+        config = replace(config, fallback=False)
     evaluation = Evaluation(config, store_path=args.store)
     report = evaluation.render_all(charts=args.charts)
     print(report)
@@ -269,7 +322,14 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    logging.basicConfig(level=getattr(logging, args.log_level.upper()))
+    try:
+        return _COMMANDS[args.command](args)
+    except (SolverError, ValidationError, OSError) as exc:
+        # one-line diagnostic instead of a traceback; nonzero exit so
+        # shell pipelines and CI notice the failure
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,15 +20,24 @@ tests), the default laptop scale, and :meth:`EvaluationConfig.paper`
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field, replace
 
 from repro.evaluation.aggregate import series_over_flexibility
 from repro.evaluation.metrics import relative_improvement, relative_performance
 from repro.evaluation.report import render_flexibility_figure
-from repro.evaluation.runner import RunRecord, run_exact, run_greedy
-from repro.exceptions import ValidationError
+from repro.evaluation.runner import (
+    RunRecord,
+    error_record,
+    run_exact,
+    run_greedy,
+)
+from repro.exceptions import ReproError, ValidationError
+from repro.runtime.budget import SolveBudget
 from repro.workloads.scenario import Scenario, paper_scenario, small_scenario
+
+logger = logging.getLogger("repro.runtime")
 
 __all__ = ["EvaluationConfig", "Evaluation", "FIXED_OBJECTIVES"]
 
@@ -58,6 +67,13 @@ class EvaluationConfig:
     backend: str = "highs"
     load_fraction: float = 0.5
     num_requests: int = 6
+    #: route every solve through the HiGHS -> branch-and-bound fallback
+    #: chain; failed access-control cells additionally degrade to greedy
+    fallback: bool = True
+    #: global wall-clock budget [s] for the whole sweep (None: unbounded).
+    #: Cells hit by budget exhaustion are *skipped without persisting*
+    #: so a resumed run completes them later.
+    wall_clock_budget: float | None = None
 
     def make_scenario(self, seed: int) -> Scenario:
         if self.scale == "paper":
@@ -126,6 +142,23 @@ class Evaluation:
             self._store_instance = RecordStore(self.store_path)
         return self._store_instance
 
+    def _budget(self) -> SolveBudget | None:
+        """One sweep-wide budget, started on first use."""
+        if self.config.wall_clock_budget is None:
+            return None
+        if not hasattr(self, "_budget_instance"):
+            self._budget_instance = SolveBudget(self.config.wall_clock_budget)
+        return self._budget_instance
+
+    def _budget_exhausted(self, what: str) -> bool:
+        """True when the sweep budget ran out; the cell is then skipped
+        *without* persisting so a resumed run still solves it."""
+        budget = self._budget()
+        if budget is not None and budget.expired:
+            logger.warning("sweep budget exhausted; skipping %s", what)
+            return True
+        return False
+
     def _stored_record(self, seed, flexibility, algorithm, objective):
         store = self._store()
         if store is None or not store.has(seed, flexibility, algorithm, objective):
@@ -167,20 +200,39 @@ class Evaluation:
                         if model_name == "csigma" and names is not None:
                             self.accepted_sets[(seed, flexibility)] = tuple(names)
                         continue
-                    record, solution = run_exact(
-                        scenario,
-                        algorithm=model_name,
-                        objective="access_control",
-                        time_limit=cfg.time_limit,
-                        backend=cfg.backend,
-                    )
-                    if record.solved:
+                    cell = f"seed={seed} flex={flexibility:g} {model_name}"
+                    if self._budget_exhausted(cell):
+                        continue
+                    try:
+                        record, solution = run_exact(
+                            scenario,
+                            algorithm=model_name,
+                            objective="access_control",
+                            time_limit=cfg.time_limit,
+                            backend=cfg.backend,
+                            budget=self._budget(),
+                            fallback=cfg.fallback,
+                            degrade_to_greedy=cfg.fallback,
+                        )
+                    except ReproError as exc:
+                        logger.error("cell %s failed: %s", cell, exc)
+                        record, solution = (
+                            error_record(
+                                scenario, model_name, "access_control", str(exc)
+                            ),
+                            None,
+                        )
+                    if record.solved and solution is not None:
                         record.model_stats["embedded_names"] = list(
                             solution.embedded_names()
                         )
                     self.access_records.append(record)
                     self._persist(record)
-                    if model_name == "csigma" and record.solved:
+                    if (
+                        model_name == "csigma"
+                        and record.solved
+                        and solution is not None
+                    ):
                         self.accepted_sets[(seed, flexibility)] = tuple(
                             solution.embedded_names()
                         )
@@ -207,12 +259,23 @@ class Evaluation:
                 if stored is not None:
                     self.greedy_records.append(stored)
                     continue
+                cell = f"seed={seed} flex={flexibility:g} greedy"
+                if self._budget_exhausted(cell):
+                    continue
                 scenario = base.with_flexibility(flexibility)
-                record, _ = run_greedy(
-                    scenario,
-                    time_limit_per_iteration=cfg.time_limit,
-                    backend=cfg.backend,
-                )
+                try:
+                    record, _ = run_greedy(
+                        scenario,
+                        time_limit_per_iteration=cfg.time_limit,
+                        backend=cfg.backend,
+                        budget=self._budget(),
+                        fallback=cfg.fallback,
+                    )
+                except ReproError as exc:
+                    logger.error("cell %s failed: %s", cell, exc)
+                    record = error_record(
+                        scenario, "greedy", "access_control", str(exc)
+                    )
                 self.greedy_records.append(record)
                 self._persist(record)
                 if verbose:
@@ -248,20 +311,31 @@ class Evaluation:
                     if stored is not None:
                         self.objective_records.append(stored)
                         continue
+                    cell = f"seed={seed} flex={flexibility:g} {objective}"
+                    if self._budget_exhausted(cell):
+                        continue
                     kwargs = (
                         {"load_fraction": cfg.load_fraction}
                         if objective == "balance_node_load"
                         else {}
                     )
-                    record, _ = run_exact(
-                        scenario,
-                        algorithm="csigma",
-                        objective=objective,
-                        time_limit=cfg.time_limit,
-                        backend=cfg.backend,
-                        force_embedded=tuple(accepted),
-                        objective_kwargs=kwargs,
-                    )
+                    try:
+                        record, _ = run_exact(
+                            scenario,
+                            algorithm="csigma",
+                            objective=objective,
+                            time_limit=cfg.time_limit,
+                            backend=cfg.backend,
+                            force_embedded=tuple(accepted),
+                            objective_kwargs=kwargs,
+                            budget=self._budget(),
+                            fallback=cfg.fallback,
+                        )
+                    except ReproError as exc:
+                        logger.error("cell %s failed: %s", cell, exc)
+                        record = error_record(
+                            scenario, "csigma", objective, str(exc)
+                        )
                     self.objective_records.append(record)
                     self._persist(record)
                     if verbose:

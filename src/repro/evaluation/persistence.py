@@ -9,14 +9,21 @@ small header line identifying the stream.
 The :class:`RecordStore` wraps an :class:`~repro.evaluation.experiments.Evaluation`
 so interrupted sweeps resume: cells whose records are already on disk
 are not re-solved.
+
+Crash safety: a process killed mid-append leaves a torn final line;
+:func:`load_records` skips such lines with a warning instead of losing
+the whole stream, and :func:`save_records` writes through a temporary
+file + :func:`os.replace` so a full rewrite is atomic (readers never
+observe a half-written file).
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import math
 import os
-from dataclasses import asdict
+from dataclasses import asdict, fields
 from typing import Iterable
 
 from repro.evaluation.runner import RunRecord
@@ -24,7 +31,11 @@ from repro.exceptions import ValidationError
 
 __all__ = ["save_records", "load_records", "append_record", "RecordStore"]
 
+logger = logging.getLogger("repro.runtime")
+
 _HEADER = {"format": "tvnep-records", "version": 1}
+
+_FIELD_NAMES = frozenset(f.name for f in fields(RunRecord))
 
 
 def _encode(record: RunRecord) -> dict:
@@ -44,17 +55,31 @@ def _decode(payload: dict) -> RunRecord:
             payload[key] = math.inf
         elif value == "nan":
             payload[key] = math.nan
-    return RunRecord(**payload)
+    # ignore fields from newer/older record versions
+    return RunRecord(**{k: v for k, v in payload.items() if k in _FIELD_NAMES})
 
 
 def save_records(records: Iterable[RunRecord], path: str) -> int:
-    """Write records as JSON-lines; returns how many were written."""
+    """Write records as JSON-lines; returns how many were written.
+
+    The write is atomic: records go to a sibling temporary file which
+    replaces ``path`` only after everything is flushed to disk, so a
+    crash mid-write never corrupts an existing record file.
+    """
     count = 0
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(json.dumps(_HEADER) + "\n")
-        for record in records:
-            fh.write(json.dumps(_encode(record)) + "\n")
-            count += 1
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(_HEADER) + "\n")
+            for record in records:
+                fh.write(json.dumps(_encode(record)) + "\n")
+                count += 1
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
     return count
 
 
@@ -68,21 +93,40 @@ def append_record(record: RunRecord, path: str) -> None:
 
 
 def load_records(path: str) -> list[RunRecord]:
-    """Read a JSON-lines record file (validating the header)."""
+    """Read a JSON-lines record file (validating the header).
+
+    A file whose header parses but names a different format is rejected
+    with :class:`ValidationError`.  Torn or corrupt *record* lines —
+    the signature of a process killed mid-append — are skipped with a
+    warning so the intact prefix survives; a resumed sweep re-solves
+    only the dropped cells.
+    """
     records: list[RunRecord] = []
     with open(path, encoding="utf-8") as fh:
         header_line = fh.readline()
         if not header_line:
             return []
-        header = json.loads(header_line)
-        if header.get("format") != _HEADER["format"]:
-            raise ValidationError(
-                f"not a record stream (format={header.get('format')!r})"
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError:
+            logger.warning(
+                "record file %s has an unreadable header; treating as empty",
+                path,
             )
-        for line in fh:
+            return []
+        if not isinstance(header, dict) or header.get("format") != _HEADER["format"]:
+            fmt = header.get("format") if isinstance(header, dict) else header
+            raise ValidationError(f"not a record stream (format={fmt!r})")
+        for lineno, line in enumerate(fh, start=2):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(_decode(json.loads(line)))
+            except (json.JSONDecodeError, TypeError) as exc:
+                logger.warning(
+                    "skipping corrupt record at %s:%d (%s)", path, lineno, exc
+                )
     return records
 
 
@@ -100,6 +144,27 @@ class RecordStore:
             load_records(path) if os.path.exists(path) else []
         )
         self._cells = {self._cell(r) for r in self.records}
+        self._repair_torn_tail()
+
+    def _repair_torn_tail(self) -> None:
+        """Atomically rewrite the file if its tail is torn.
+
+        Without this, appending after a mid-write kill would glue the
+        next record onto the half-written line, corrupting both.
+        """
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, encoding="utf-8") as fh:
+            content = fh.read()
+        intact_lines = sum(1 for line in content.splitlines() if line.strip())
+        if content.endswith("\n") and intact_lines == len(self.records) + 1:
+            return
+        logger.warning(
+            "record file %s has a torn tail; rewriting %d intact record(s)",
+            self.path,
+            len(self.records),
+        )
+        save_records(self.records, self.path)
 
     @staticmethod
     def _cell(record: RunRecord) -> tuple:

@@ -56,7 +56,7 @@ __all__ = [
 ]
 
 
-def solve(model, backend: str = "highs", **kwargs):
+def solve(model, backend="highs", **kwargs):
     """Solve a model with the chosen backend.
 
     Parameters
@@ -64,20 +64,20 @@ def solve(model, backend: str = "highs", **kwargs):
     model:
         The :class:`Model` to solve.
     backend:
-        ``"highs"`` (default, exact branch-and-cut via SciPy) or
-        ``"bnb"`` (pure-Python branch-and-bound).
+        A name from the :mod:`repro.runtime.backends` registry —
+        ``"highs"`` (default, exact branch-and-cut via SciPy),
+        ``"bnb"`` (pure-Python branch-and-bound), ``"resilient"``
+        (the default HiGHS → B&B fallback chain) — or any callable
+        with the backend signature, e.g. a configured
+        :class:`~repro.runtime.resilient.ResilientBackend`.
     **kwargs:
-        Forwarded to the backend (``time_limit``, ``mip_gap``,
-        ``node_limit``, and for ``bnb`` also ``branching`` /
-        ``node_selection``).
+        Forwarded to the backend (``time_limit``, ``budget``,
+        ``mip_gap``, ``node_limit``, and for ``bnb`` also
+        ``branching`` / ``node_selection``).
     """
-    if backend == "highs":
-        return solve_highs(model, **kwargs)
-    if backend == "bnb":
-        from repro.mip.bnb import solve as _solve_bnb
+    from repro.runtime.backends import get_backend
 
-        return _solve_bnb(model, **kwargs)
-    raise ValueError(f"unknown backend {backend!r}; expected 'highs' or 'bnb'")
+    return get_backend(backend)(model, **kwargs)
 
 
 def solve_bnb(model, **kwargs):

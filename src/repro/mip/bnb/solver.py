@@ -94,12 +94,23 @@ class BranchAndBoundSolver:
         model: Model,
         time_limit: float | None = None,
         node_limit: int | None = None,
+        budget=None,
     ) -> Solution:
         """Run branch-and-bound on ``model``.
 
         Returns a :class:`Solution` whose ``node_count`` is the number of
-        LP relaxations solved.
+        LP relaxations solved.  ``budget`` (a
+        :class:`~repro.runtime.budget.SolveBudget`) tightens
+        ``time_limit`` to the globally remaining wall-clock time.
         """
+        if budget is not None:
+            if budget.expired:
+                return Solution(
+                    status=SolveStatus.NO_SOLUTION,
+                    solver=BNB_NAME,
+                    message="wall-clock budget exhausted before solve",
+                )
+            time_limit = budget.clamp(time_limit)
         form = model.to_standard_form()
         rule = (
             self._branching_spec
@@ -417,9 +428,12 @@ def solve(
     mip_gap: float = 1e-6,
     branching: str = "pseudocost",
     node_selection: str = "hybrid",
+    budget=None,
 ) -> Solution:
     """Convenience wrapper around :class:`BranchAndBoundSolver`."""
     solver = BranchAndBoundSolver(
         branching=branching, node_selection=node_selection, mip_gap=mip_gap
     )
-    return solver.solve(model, time_limit=time_limit, node_limit=node_limit)
+    return solver.solve(
+        model, time_limit=time_limit, node_limit=node_limit, budget=budget
+    )

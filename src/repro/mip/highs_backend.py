@@ -41,6 +41,7 @@ def solve(
     mip_gap: float = 1e-6,
     node_limit: int | None = None,
     presolve: bool = True,
+    budget=None,
 ) -> Solution:
     """Solve a model with HiGHS branch-and-cut.
 
@@ -52,6 +53,11 @@ def solve(
         Wall-clock limit in seconds; on expiry the best incumbent (if
         any) is returned with status ``FEASIBLE``, mirroring the paper's
         one-hour-timeout methodology.
+    budget:
+        Optional :class:`~repro.runtime.budget.SolveBudget`; the
+        effective limit is the tighter of ``time_limit`` and the
+        budget's remaining wall-clock time.  An already-expired budget
+        short-circuits to ``NO_SOLUTION`` without calling the solver.
     mip_gap:
         Relative optimality gap at which the search stops.
     node_limit:
@@ -65,6 +71,14 @@ def solve(
         presolve (or using the ``bnb`` backend) recovers it — see
         EXPERIMENTS.md, "A reproduction war story, part two".
     """
+    if budget is not None:
+        if budget.expired:
+            return Solution(
+                status=SolveStatus.NO_SOLUTION,
+                solver=HIGHS_NAME,
+                message="wall-clock budget exhausted before solve",
+            )
+        time_limit = budget.clamp(time_limit)
     form = model.to_standard_form()
     return solve_standard_form(
         form,

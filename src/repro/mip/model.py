@@ -308,6 +308,21 @@ class Model:
         )
 
     # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def solve(self, backend="highs", **kwargs):
+        """Solve this model via the backend registry.
+
+        Thin convenience over :func:`repro.mip.solve`; ``backend`` may
+        be a registered name (``"highs"``, ``"bnb"``, ``"resilient"``)
+        or any backend callable, and ``kwargs`` (``time_limit``,
+        ``budget``, ...) are forwarded.
+        """
+        from repro.mip import solve as _solve
+
+        return _solve(self, backend=backend, **kwargs)
+
+    # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
     def check_assignment(

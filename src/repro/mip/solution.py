@@ -88,6 +88,11 @@ class Solution:
         Name of the backend that produced the result.
     message:
         Free-form backend diagnostics.
+    rung:
+        Which rung of a :class:`~repro.runtime.resilient.ResilientBackend`
+        fallback chain produced the result (empty for direct solves);
+        lets the evaluation distinguish first-choice from degraded
+        answers.
     """
 
     status: SolveStatus
@@ -98,6 +103,7 @@ class Solution:
     node_count: int = 0
     solver: str = ""
     message: str = ""
+    rung: str = ""
 
     @property
     def is_optimal(self) -> bool:

@@ -1,0 +1,49 @@
+"""Resilient solve orchestration.
+
+This package is the library's reliability layer; every solve routes
+through it (via :func:`repro.mip.solve` and the backend registry):
+
+* :class:`SolveBudget` — one global wall-clock budget threaded from the
+  CLI through the evaluation runner and the greedy/hybrid algorithms
+  down to the MIP backends (:mod:`repro.runtime.budget`);
+* the backend registry — named backends the whole stack resolves at
+  solve time, making wrappers and fault injection transparent
+  (:mod:`repro.runtime.backends`);
+* :class:`ResilientBackend` — a fallback chain (HiGHS → own
+  branch-and-bound, plus a TVNEP-level greedy rung in the evaluation
+  runner) with bounded retry, backoff, incumbent validation and
+  structured attempt logging (:mod:`repro.runtime.resilient`);
+* :class:`FaultInjector` — a deterministic fault-injection harness used
+  by the tests to prove the chain and the sweep runner degrade instead
+  of dying (:mod:`repro.runtime.faults`).
+
+Attempt-level diagnostics are emitted on the ``repro.runtime`` logger.
+"""
+
+from repro.runtime.backends import (
+    Backend,
+    backend_names,
+    get_backend,
+    override_backend,
+    register_backend,
+)
+from repro.runtime.budget import SolveBudget
+from repro.runtime.faults import FaultInjector, FaultMode, corrupt_solution, inject_faults
+from repro.runtime.resilient import Attempt, ResilientBackend, Rung, default_chain
+
+__all__ = [
+    "SolveBudget",
+    "Backend",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+    "override_backend",
+    "ResilientBackend",
+    "Rung",
+    "Attempt",
+    "default_chain",
+    "FaultInjector",
+    "FaultMode",
+    "inject_faults",
+    "corrupt_solution",
+]

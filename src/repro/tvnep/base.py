@@ -561,6 +561,8 @@ class TemporalModelBase:
                 runtime=solution.runtime,
                 gap=solution.gap,
                 node_count=solution.node_count,
+                status=solution.status.value,
+                rung=solution.rung,
             )
 
         for request in self.requests:
@@ -595,6 +597,8 @@ class TemporalModelBase:
             runtime=solution.runtime,
             gap=solution.gap,
             node_count=solution.node_count,
+            status=solution.status.value,
+            rung=solution.rung,
         )
 
     # ------------------------------------------------------------------

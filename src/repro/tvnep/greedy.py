@@ -27,20 +27,24 @@ event-order enumeration + LPs.
 
 from __future__ import annotations
 
+import logging
 import time
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
-from repro.exceptions import SolverError
+from repro.exceptions import ModelingError, SolverError
 from repro.mip.model import ObjectiveSense
 from repro.network.request import Request
 from repro.network.substrate import SubstrateNetwork
+from repro.runtime.budget import SolveBudget
 from repro.tvnep.base import ModelOptions
 from repro.tvnep.csigma_model import CSigmaModel
 from repro.tvnep.solution import ScheduledRequest, TemporalSolution
 from repro.vnep.embedding_vars import NodeMapping
 
 __all__ = ["GreedyResult", "greedy_csigma", "greedy_enumerative"]
+
+logger = logging.getLogger("repro.runtime")
 
 
 @dataclass
@@ -73,6 +77,8 @@ def greedy_csigma(
     options: ModelOptions | None = None,
     backend: str = "highs",
     time_limit_per_iteration: float | None = None,
+    time_limit: float | None = None,
+    budget: SolveBudget | None = None,
 ) -> GreedyResult:
     """Run Algorithm cSigma^G_A.
 
@@ -88,10 +94,20 @@ def greedy_csigma(
         Formulation options for the per-iteration cSigma models
         (defaults to all reductions on — essential for speed).
     backend:
-        MIP backend for the iterations.
+        MIP backend for the iterations (a registry name or callable,
+        e.g. a :class:`~repro.runtime.resilient.ResilientBackend`).
     time_limit_per_iteration:
         Optional safety limit; an iteration that cannot prove
         embeddability in time conservatively rejects the request.
+    time_limit:
+        Global wall-clock limit for the *whole* run; it is divided
+        fairly across the remaining iterations (deadline-aware), so the
+        greedy degrades — rejecting the tail of the request list — but
+        always terminates on schedule.
+    budget:
+        An existing :class:`~repro.runtime.budget.SolveBudget` to
+        consume instead of creating one from ``time_limit`` (used when
+        the caller threads one global budget through several phases).
     """
     missing = [r.name for r in requests if r.name not in fixed_mappings]
     if missing:
@@ -99,6 +115,8 @@ def greedy_csigma(
             f"greedy needs fixed node mappings for all requests; missing {missing}"
         )
     options = options or ModelOptions()
+    if budget is None and time_limit is not None:
+        budget = SolveBudget(time_limit)
 
     # L <- R ordered by earliest possible start (stable for ties)
     order = sorted(requests, key=lambda r: (r.earliest_start, r.name))
@@ -109,29 +127,69 @@ def greedy_csigma(
     rejected: list[str] = []
     runtimes: list[float] = []
 
-    for request in order:
+    def reject(request: Request) -> None:
+        # fix times anyway (Definition 2.1); earliest slot
+        current[request.name] = request.with_schedule(
+            request.earliest_start,
+            request.earliest_start + request.duration,
+        )
+        rejected.append(request.name)
+
+    for position, request in enumerate(order):
         current[request.name] = request
+        if budget is not None and budget.expired:
+            # out of wall-clock: conservatively reject the tail instead
+            # of blowing past the deadline
+            logger.warning(
+                "greedy budget exhausted after %d/%d iterations; "
+                "rejecting %s without solving",
+                position,
+                len(order),
+                request.name,
+            )
+            runtimes.append(0.0)
+            reject(request)
+            continue
+        # fair share of the remaining budget for this iteration (the
+        # +1 reserves a slot for the final fully-pinned solve)
+        iteration_limit = time_limit_per_iteration
+        if budget is not None:
+            share = budget.per_iteration(len(order) - position + 1, floor=0.05)
+            iteration_limit = (
+                share if iteration_limit is None else min(iteration_limit, share)
+            )
         tick = time.perf_counter()
-        model = CSigmaModel(
-            substrate,
-            list(current.values()),
-            fixed_mappings={
-                name: fixed_mappings[name] for name in current
-            },
-            force_embedded=accepted,
-            force_rejected=rejected,
-            options=_with_horizon(options, horizon),
-        )
-        # objective (21): embed L[i] if possible, then end it early
-        target = model.embeddings[request.name]
-        model.model.set_objective(
-            target.x_embed * horizon
-            + (horizon - model.t_end[request.name]),
-            ObjectiveSense.MAXIMIZE,
-        )
-        raw = model.solve_raw(
-            backend=backend, time_limit=time_limit_per_iteration
-        )
+        try:
+            model = CSigmaModel(
+                substrate,
+                list(current.values()),
+                fixed_mappings={
+                    name: fixed_mappings[name] for name in current
+                },
+                force_embedded=accepted,
+                force_rejected=rejected,
+                options=_with_horizon(options, horizon),
+            )
+            # objective (21): embed L[i] if possible, then end it early
+            target = model.embeddings[request.name]
+            model.model.set_objective(
+                target.x_embed * horizon
+                + (horizon - model.t_end[request.name]),
+                ObjectiveSense.MAXIMIZE,
+            )
+            raw = model.solve_raw(
+                backend=backend, time_limit=iteration_limit
+            )
+        except (SolverError, ModelingError) as exc:
+            # a failed iteration conservatively rejects the request —
+            # the run degrades instead of dying (Sec. V semantics: a
+            # request that cannot be *proven* embeddable is rejected)
+            logger.warning(
+                "greedy iteration for %s failed (%s); rejecting", request.name, exc
+            )
+            runtimes.append(time.perf_counter() - tick)
+            reject(request)
+            continue
         runtimes.append(time.perf_counter() - tick)
 
         embeddable = (
@@ -145,12 +203,7 @@ def greedy_csigma(
             current[request.name] = request.with_schedule(start, end)
             accepted.append(request.name)
         else:
-            # fix times anyway (Definition 2.1); earliest slot
-            current[request.name] = request.with_schedule(
-                request.earliest_start,
-                request.earliest_start + request.duration,
-            )
-            rejected.append(request.name)
+            reject(request)
 
     # one final fully-pinned solve over *all* requests: with every
     # schedule and accept/reject decision fixed, this is cheap, and it
@@ -164,7 +217,18 @@ def greedy_csigma(
         force_rejected=rejected,
         options=_with_horizon(options, horizon),
     )
-    final_raw = final_model.solve_raw(backend=backend)
+    # the final solve is fully pinned and therefore cheap; grant it a
+    # small grace period even when the budget just ran out, because
+    # without it there is nothing to extract
+    final_limit = None
+    if budget is not None:
+        final_limit = max(budget.clamp(None), 1.0)
+    try:
+        final_raw = final_model.solve_raw(backend=backend, time_limit=final_limit)
+    except SolverError as exc:
+        raise SolverError(
+            f"greedy final extraction solve failed: {exc}"
+        ) from exc
     solution = final_model.extract(final_raw)
     solution.model_name = "csigma-greedy"
     solution.objective = solution.total_revenue()
@@ -327,4 +391,6 @@ def _reconcile(
         runtime=solution.runtime,
         gap=solution.gap,
         node_count=solution.node_count,
+        status=solution.status,
+        rung=solution.rung,
     )

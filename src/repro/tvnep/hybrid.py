@@ -24,20 +24,24 @@ greedy iterations instead of one big exact solve.
 
 from __future__ import annotations
 
+import logging
 import time
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
-from repro.exceptions import SolverError, ValidationError
+from repro.exceptions import ModelingError, SolverError, ValidationError
 from repro.mip.model import ObjectiveSense
 from repro.network.request import Request
 from repro.network.substrate import SubstrateNetwork
+from repro.runtime.budget import SolveBudget
 from repro.tvnep.base import ModelOptions
 from repro.tvnep.csigma_model import CSigmaModel
 from repro.tvnep.solution import ScheduledRequest, TemporalSolution
 from repro.vnep.embedding_vars import NodeMapping
 
 __all__ = ["HybridResult", "hybrid_heavy_hitters"]
+
+logger = logging.getLogger("repro.runtime")
 
 
 @dataclass
@@ -76,6 +80,8 @@ def hybrid_heavy_hitters(
     backend: str = "highs",
     exact_time_limit: float | None = None,
     time_limit_per_iteration: float | None = None,
+    time_limit: float | None = None,
+    budget: SolveBudget | None = None,
 ) -> HybridResult:
     """Exact on the heavy-hitters, greedy on the rest (Sec. VIII).
 
@@ -87,6 +93,12 @@ def hybrid_heavy_hitters(
         when the set is non-empty.
     exact_time_limit / time_limit_per_iteration:
         Budgets for the exact phase and each greedy insertion.
+    time_limit / budget:
+        One global wall-clock budget for the whole run (a
+        :class:`~repro.runtime.budget.SolveBudget`, or seconds to build
+        one from): the exact phase receives half the remaining time and
+        the greedy insertions divide the rest fairly, so the hybrid
+        always terminates on schedule.
     """
     if not 0.0 <= heavy_fraction <= 1.0:
         raise ValidationError("heavy_fraction must lie in [0, 1]")
@@ -96,6 +108,8 @@ def hybrid_heavy_hitters(
             f"hybrid needs fixed node mappings for all requests; missing {missing}"
         )
     options = options or ModelOptions()
+    if budget is None and time_limit is not None:
+        budget = SolveBudget(time_limit)
     horizon = max(r.latest_end for r in requests)
     options = _with_horizon(options, horizon)
 
@@ -109,6 +123,13 @@ def hybrid_heavy_hitters(
     small_names = [r.name for r in small]
 
     # -- phase 1: exact on the heavy-hitters ------------------------------
+    # the exact phase gets half the remaining global budget; the greedy
+    # insertions divide the rest
+    if budget is not None:
+        half = budget.remaining() * 0.5
+        exact_time_limit = (
+            half if exact_time_limit is None else min(exact_time_limit, half)
+        )
     tick = time.perf_counter()
     exact_model = CSigmaModel(
         substrate,
@@ -137,23 +158,56 @@ def hybrid_heavy_hitters(
 
     # -- phase 2: greedy insertion of the small requests -------------------
     greedy_runtimes: list[float] = []
-    for request in small:
+    for position, request in enumerate(small):
         current[request.name] = request
+
+        def _reject() -> None:
+            current[request.name] = request.with_schedule(
+                request.earliest_start,
+                request.earliest_start + request.duration,
+            )
+            rejected.append(request.name)
+
+        if budget is not None and budget.expired:
+            logger.warning(
+                "hybrid budget exhausted after %d/%d insertions; "
+                "rejecting %s without solving",
+                position,
+                len(small),
+                request.name,
+            )
+            greedy_runtimes.append(0.0)
+            _reject()
+            continue
+        iteration_limit = time_limit_per_iteration
+        if budget is not None:
+            share = budget.per_iteration(len(small) - position + 1, floor=0.05)
+            iteration_limit = (
+                share if iteration_limit is None else min(iteration_limit, share)
+            )
         tick = time.perf_counter()
-        model = CSigmaModel(
-            substrate,
-            list(current.values()),
-            fixed_mappings={name: fixed_mappings[name] for name in current},
-            force_embedded=accepted,
-            force_rejected=rejected,
-            options=options,
-        )
-        target = model.embeddings[request.name]
-        model.model.set_objective(
-            target.x_embed * horizon + (horizon - model.t_end[request.name]),
-            ObjectiveSense.MAXIMIZE,
-        )
-        raw = model.solve_raw(backend=backend, time_limit=time_limit_per_iteration)
+        try:
+            model = CSigmaModel(
+                substrate,
+                list(current.values()),
+                fixed_mappings={name: fixed_mappings[name] for name in current},
+                force_embedded=accepted,
+                force_rejected=rejected,
+                options=options,
+            )
+            target = model.embeddings[request.name]
+            model.model.set_objective(
+                target.x_embed * horizon + (horizon - model.t_end[request.name]),
+                ObjectiveSense.MAXIMIZE,
+            )
+            raw = model.solve_raw(backend=backend, time_limit=iteration_limit)
+        except (SolverError, ModelingError) as exc:
+            logger.warning(
+                "hybrid insertion for %s failed (%s); rejecting", request.name, exc
+            )
+            greedy_runtimes.append(time.perf_counter() - tick)
+            _reject()
+            continue
         greedy_runtimes.append(time.perf_counter() - tick)
         if raw.has_solution and raw.rounded(target.x_embed) == 1:
             start = raw.value(model.t_start[request.name])
@@ -161,11 +215,7 @@ def hybrid_heavy_hitters(
             current[request.name] = request.with_schedule(start, end)
             accepted.append(request.name)
         else:
-            current[request.name] = request.with_schedule(
-                request.earliest_start,
-                request.earliest_start + request.duration,
-            )
-            rejected.append(request.name)
+            _reject()
 
     # -- assemble the final solution ---------------------------------------
     # a fully-pinned solve over the whole request set (cheap: every
@@ -178,7 +228,11 @@ def hybrid_heavy_hitters(
         force_rejected=rejected,
         options=options,
     )
-    solution = final_model.extract(final_model.solve_raw(backend=backend))
+    # fully pinned and cheap; granted a grace second past the deadline
+    final_limit = max(budget.clamp(None), 1.0) if budget is not None else None
+    solution = final_model.extract(
+        final_model.solve_raw(backend=backend, time_limit=final_limit)
+    )
 
     solution = _restore_requests(solution, requests)
     solution.model_name = "hybrid-heavy-hitters"
@@ -226,4 +280,6 @@ def _restore_requests(
         runtime=solution.runtime,
         gap=solution.gap,
         node_count=solution.node_count,
+        status=solution.status,
+        rung=solution.rung,
     )

@@ -95,6 +95,12 @@ class TemporalSolution:
         Which algorithm/formulation produced the solution.
     runtime, gap, node_count:
         Solver statistics carried along for the evaluation harness.
+    status:
+        Raw solve status (``"optimal"``, ``"feasible"``, ``"error"``,
+        ...; empty for hand-built solutions).
+    rung:
+        Which fallback-chain rung produced the underlying MIP solution
+        (see :mod:`repro.runtime.resilient`; empty for direct solves).
     """
 
     def __init__(
@@ -106,6 +112,8 @@ class TemporalSolution:
         runtime: float = 0.0,
         gap: float = 0.0,
         node_count: int = 0,
+        status: str = "",
+        rung: str = "",
     ) -> None:
         self.substrate = substrate
         self.scheduled = dict(scheduled)
@@ -114,6 +122,8 @@ class TemporalSolution:
         self.runtime = runtime
         self.gap = gap
         self.node_count = node_count
+        self.status = status
+        self.rung = rung
 
     # ------------------------------------------------------------------
     def __getitem__(self, request_name: str) -> ScheduledRequest:

@@ -73,6 +73,84 @@ class TestRoundTrip:
         assert load_records(str(path)) == []
 
 
+class TestCrashSafety:
+    def test_torn_final_line_is_skipped(self, tmp_path, caplog):
+        path = str(tmp_path / "records.jsonl")
+        save_records([record(0, 0.0), record(0, 1.0)], path)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines(keepends=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.writelines(lines[:-1])
+            fh.write(lines[-1][: len(lines[-1]) // 2])
+
+        with caplog.at_level("WARNING", logger="repro.runtime"):
+            restored = load_records(path)
+        assert restored == [record(0, 0.0)]
+        assert any("corrupt record" in m for m in caplog.messages)
+
+    def test_garbage_middle_line_is_skipped(self, tmp_path):
+        path = str(tmp_path / "records.jsonl")
+        save_records([record(0, 0.0)], path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("{not json at all\n")
+        append_record(record(0, 1.0), path)
+        restored = load_records(path)
+        assert [r.flexibility for r in restored] == [0.0, 1.0]
+
+    def test_unreadable_header_treated_as_empty(self, tmp_path):
+        path = tmp_path / "torn-header.jsonl"
+        path.write_text('{"format": "tvnep-rec')
+        assert load_records(str(path)) == []
+
+    def test_unknown_fields_ignored(self, tmp_path):
+        path = str(tmp_path / "records.jsonl")
+        save_records([record(0, 0.0)], path)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        import json
+
+        payload = json.loads(lines[1])
+        payload["field_from_the_future"] = 42
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(lines[0] + "\n" + json.dumps(payload) + "\n")
+        assert load_records(path) == [record(0, 0.0)]
+
+    def test_save_is_atomic(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        path = str(tmp_path / "records.jsonl")
+        save_records([record(0, 0.0)], path)
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os_module, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            save_records([record(0, 1.0), record(0, 2.0)], path)
+        monkeypatch.undo()
+
+        # the original file is untouched and no temp file lingers
+        assert load_records(path) == [record(0, 0.0)]
+        assert [p.name for p in tmp_path.iterdir()] == ["records.jsonl"]
+
+    def test_store_repairs_torn_tail_before_appending(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = RecordStore(path)
+        store.add(record(0, 0.0))
+        store.add(record(0, 1.0))
+        # tear the tail (no trailing newline)
+        with open(path, encoding="utf-8") as fh:
+            content = fh.read()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content[: len(content) - len(content.splitlines()[-1]) // 2 - 1])
+
+        reopened = RecordStore(path)
+        assert len(reopened) == 1
+        reopened.add(record(0, 2.0))  # must not glue onto the torn line
+        final = load_records(path)
+        assert [r.flexibility for r in final] == [0.0, 2.0]
+
+
 class TestRecordStore:
     def test_resume_semantics(self, tmp_path):
         path = str(tmp_path / "store.jsonl")

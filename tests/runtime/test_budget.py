@@ -1,0 +1,90 @@
+"""Tests of the wall-clock solve budget."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.runtime import SolveBudget
+
+
+class FakeClock:
+    """A controllable monotonic clock."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestConstruction:
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            SolveBudget(-1.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValidationError):
+            SolveBudget(math.inf)
+        with pytest.raises(ValidationError):
+            SolveBudget(math.nan)
+
+    def test_unlimited(self):
+        budget = SolveBudget.unlimited()
+        assert budget.is_unlimited
+        assert budget.remaining() == math.inf
+        assert not budget.expired
+        assert budget.clamp(None) is None
+        assert budget.clamp(3.0) == 3.0
+        assert budget.per_iteration(5) is None
+
+
+class TestCountdown:
+    def test_remaining_and_expiry(self):
+        clock = FakeClock()
+        budget = SolveBudget(10.0, clock=clock)
+        assert budget.remaining() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert budget.elapsed() == pytest.approx(4.0)
+        assert budget.remaining() == pytest.approx(6.0)
+        assert not budget.expired
+        clock.advance(7.0)
+        assert budget.remaining() == 0.0  # floored, never negative
+        assert budget.expired
+
+    def test_clamp_takes_the_tighter_limit(self):
+        clock = FakeClock()
+        budget = SolveBudget(10.0, clock=clock)
+        assert budget.clamp(30.0) == pytest.approx(10.0)
+        assert budget.clamp(2.0) == pytest.approx(2.0)
+        assert budget.clamp(None) == pytest.approx(10.0)
+        clock.advance(9.0)
+        assert budget.clamp(30.0) == pytest.approx(1.0)
+
+    def test_per_iteration_fair_share(self):
+        clock = FakeClock()
+        budget = SolveBudget(12.0, clock=clock)
+        assert budget.per_iteration(4) == pytest.approx(3.0)
+        clock.advance(6.0)
+        assert budget.per_iteration(3) == pytest.approx(2.0)
+
+    def test_per_iteration_floor(self):
+        clock = FakeClock()
+        budget = SolveBudget(1.0, clock=clock)
+        clock.advance(0.999)
+        assert budget.per_iteration(10, floor=0.05) == pytest.approx(0.05)
+
+    def test_per_iteration_degenerate_counts(self):
+        budget = SolveBudget(8.0, clock=FakeClock())
+        # zero/negative iteration counts behave like "one left"
+        assert budget.per_iteration(0) == pytest.approx(8.0)
+        assert budget.per_iteration(-3) == pytest.approx(8.0)
+
+    def test_repr(self):
+        assert "unlimited" in repr(SolveBudget(None))
+        assert "total=5" in repr(SolveBudget(5.0, clock=FakeClock()))

@@ -1,0 +1,202 @@
+"""Tests of the backend fallback chain."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.mip import Model, ObjectiveSense, SolveStatus, quicksum
+from repro.mip.solution import Solution
+from repro.runtime import (
+    FaultMode,
+    ResilientBackend,
+    Rung,
+    SolveBudget,
+    default_chain,
+    inject_faults,
+)
+
+
+def knapsack() -> Model:
+    m = Model("knap")
+    xs = [m.binary_var(f"x{i}") for i in range(4)]
+    weights, profits = [2, 3, 4, 5], [3, 4, 5, 6]
+    m.add_constr(quicksum(w * x for w, x in zip(weights, xs)) <= 5)
+    m.set_objective(
+        quicksum(p * x for p, x in zip(profits, xs)), ObjectiveSense.MAXIMIZE
+    )
+    return m
+
+
+def no_sleep(_seconds: float) -> None:
+    pass
+
+
+class TestHappyPath:
+    def test_first_rung_answers(self):
+        chain = default_chain(sleep=no_sleep)
+        solution = chain.solve(knapsack())
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(7.0)
+        assert solution.rung == "highs"
+        assert [a.rung for a in chain.attempts] == ["highs"]
+
+    def test_callable_like_any_backend(self):
+        # a chain is a backend: Model.solve accepts it directly
+        solution = knapsack().solve(backend=default_chain(sleep=no_sleep))
+        assert solution.status is SolveStatus.OPTIMAL
+
+
+class TestFallthrough:
+    def test_error_falls_through_to_bnb(self):
+        chain = default_chain(sleep=no_sleep)
+        with inject_faults("highs", always=FaultMode.ERROR) as injector:
+            solution = chain.solve(knapsack())
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(7.0)
+        assert solution.rung == "bnb"
+        # first rung retried once (retries=1), then bnb answered
+        assert [(a.rung, a.status) for a in chain.attempts] == [
+            ("highs", "exception"),
+            ("highs", "exception"),
+            ("bnb", "optimal"),
+        ]
+        assert injector.calls == 2
+
+    def test_transient_error_recovers_on_retry(self):
+        chain = default_chain(sleep=no_sleep)
+        with inject_faults("highs", script={1: FaultMode.ERROR}):
+            solution = chain.solve(knapsack())
+        assert solution.rung == "highs"
+        assert [a.status for a in chain.attempts] == ["exception", "optimal"]
+
+    def test_corrupt_incumbent_rejected(self):
+        chain = default_chain(sleep=no_sleep)
+        with inject_faults("highs", always=FaultMode.CORRUPT):
+            solution = chain.solve(knapsack())
+        assert solution.rung == "bnb"
+        assert solution.objective == pytest.approx(7.0)
+        assert chain.attempts[0].status == "corrupt"
+
+    def test_corrupt_accepted_without_validation(self):
+        chain = default_chain(validate=False, sleep=no_sleep)
+        with inject_faults("highs", always=FaultMode.CORRUPT):
+            solution = chain.solve(knapsack())
+        # validation off: the corrupted incumbent sails through
+        assert solution.rung == "highs"
+        assert solution.objective != pytest.approx(7.0)
+
+    def test_timeout_moves_to_next_rung_without_retry(self):
+        chain = default_chain(sleep=no_sleep)
+        with inject_faults("highs", always=FaultMode.TIMEOUT) as injector:
+            solution = chain.solve(knapsack())
+        assert solution.rung == "bnb"
+        # NO_SOLUTION is not retried on the same rung
+        assert injector.calls == 1
+
+    def test_all_rungs_fail(self):
+        chain = default_chain(sleep=no_sleep)
+        with inject_faults("highs", always=FaultMode.ERROR):
+            with inject_faults("bnb", always=FaultMode.ERROR):
+                solution = chain.solve(knapsack())
+        assert solution.status is SolveStatus.ERROR
+        assert "all rungs failed" in solution.message
+        assert not solution.has_solution
+
+    def test_all_rungs_time_out(self):
+        chain = default_chain(sleep=no_sleep)
+        with inject_faults("highs", always=FaultMode.TIMEOUT):
+            with inject_faults("bnb", always=FaultMode.TIMEOUT):
+                solution = chain.solve(knapsack())
+        # a timeout outcome is preferred over a synthetic error
+        assert solution.status is SolveStatus.NO_SOLUTION
+
+
+class TestConclusiveStatuses:
+    def test_infeasible_is_not_retried(self):
+        m = Model()
+        x = m.binary_var("x")
+        m.add_constr(x >= 2)
+        chain = default_chain(sleep=no_sleep)
+        solution = chain.solve(m)
+        assert solution.status is SolveStatus.INFEASIBLE
+        assert len(chain.attempts) == 1
+
+
+class TestBudget:
+    def test_expired_budget_short_circuits(self):
+        now = [0.0]
+        budget = SolveBudget(5.0, clock=lambda: now[0])
+        now[0] = 10.0  # already past the deadline
+        chain = default_chain(sleep=no_sleep)
+        solution = chain.solve(knapsack(), budget=budget)
+        assert not solution.has_solution
+        assert all(a.status == "budget_exhausted" for a in chain.attempts)
+
+    def test_budget_clamps_time_limit(self):
+        calls: list[float | None] = []
+
+        def spy(model, time_limit=None, **kwargs):
+            calls.append(time_limit)
+            return Solution(status=SolveStatus.NO_SOLUTION, solver="spy")
+
+        chain = ResilientBackend([Rung("spy", spy)], sleep=no_sleep)
+        clock_now = [0.0]
+        budget = SolveBudget(4.0, clock=lambda: clock_now[0])
+        chain.solve(knapsack(), time_limit=30.0, budget=budget)
+        assert calls == [pytest.approx(4.0)]
+
+    def test_min_time_limit_floor(self):
+        calls: list[float | None] = []
+
+        def spy(model, time_limit=None, **kwargs):
+            calls.append(time_limit)
+            return Solution(status=SolveStatus.NO_SOLUTION, solver="spy")
+
+        chain = ResilientBackend(
+            [Rung("spy", spy)], min_time_limit=0.5, sleep=no_sleep
+        )
+        clock_now = [0.0]
+        budget = SolveBudget(0.001, clock=lambda: clock_now[0])
+        chain.solve(knapsack(), budget=budget)
+        assert calls == [pytest.approx(0.5)]
+
+
+class TestConfiguration:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            ResilientBackend([])
+
+    def test_rung_options_forwarded(self):
+        seen: list[dict] = []
+
+        def spy(model, **kwargs):
+            seen.append(kwargs)
+            raise SolverError("spy always fails")
+
+        chain = ResilientBackend(
+            [Rung("spy", spy, options={"presolve": False})], sleep=no_sleep
+        )
+        chain.solve(knapsack())
+        assert seen[0]["presolve"] is False
+
+    def test_backoff_doubles_and_respects_budget(self):
+        naps: list[float] = []
+
+        def failing(model, **kwargs):
+            raise SolverError("nope")
+
+        chain = ResilientBackend(
+            [Rung("f", failing, retries=2, backoff=0.1)], sleep=naps.append
+        )
+        chain.solve(knapsack())
+        assert naps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_default_chain_secondary(self):
+        assert [r.name for r in default_chain().rungs] == ["highs", "bnb"]
+        assert [r.name for r in default_chain(primary="bnb").rungs] == [
+            "bnb",
+            "highs",
+        ]

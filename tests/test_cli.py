@@ -150,6 +150,71 @@ class TestEvaluate:
         assert "Figure 3" in text and "Figure 9" in text
 
 
+class TestErrorHandling:
+    def test_missing_instance_is_one_line_diagnostic(self, capsys):
+        code = main(["solve", "/no/such/instance.json"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_solver_error_is_one_line_diagnostic(self, instance_path, capsys):
+        from repro.runtime import inject_faults
+
+        with inject_faults("highs", always="error"):
+            with inject_faults("bnb", always="error"):
+                code = main(
+                    ["solve", str(instance_path), "--model", "greedy"]
+                )
+        assert code != 0
+        err = capsys.readouterr().err
+        assert "error:" in err or "no solution" in err
+        assert "Traceback" not in err
+
+    def test_resilient_backend_survives_primary_failure(
+        self, instance_path, capsys
+    ):
+        from repro.runtime import inject_faults
+
+        with inject_faults("highs", always="error"):
+            code = main(
+                ["solve", str(instance_path), "--backend", "resilient"]
+            )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "answered by fallback rung: bnb" in out
+
+    def test_wall_clock_budget_flag(self, instance_path, capsys):
+        code = main(
+            ["solve", str(instance_path), "--wall-clock-budget", "30"]
+        )
+        assert code == 0
+
+    def test_negative_budget_rejected(self, instance_path, capsys):
+        code = main(
+            ["solve", str(instance_path), "--wall-clock-budget", "-5"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_evaluate_fallback_flags(self, capsys, tmp_path):
+        code = main(
+            [
+                "evaluate",
+                "--quick",
+                "--seeds",
+                "0",
+                "--no-fallback",
+                "--wall-clock-budget",
+                "300",
+                "--store",
+                str(tmp_path / "records.jsonl"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "records.jsonl").exists()
+
+
 class TestCheck:
     def test_clean_instance_passes(self, instance_path, capsys):
         code = main(["check", str(instance_path)])

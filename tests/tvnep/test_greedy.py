@@ -186,3 +186,72 @@ class TestHarshTimeLimits:
         )
         assert len(result.solution.scheduled) == 5
         assert verify_solution(result.solution).feasible
+
+
+class TestGlobalBudget:
+    def test_expired_budget_rejects_without_solving_iterations(self):
+        from repro.runtime import SolveBudget, get_backend
+
+        sub = one_node()
+        reqs = [unit_request("A", 0, 4, 2), unit_request("B", 0, 4, 2)]
+        now = [0.0]
+        budget = SolveBudget(10.0, clock=lambda: now[0])
+        now[0] = 20.0  # already past the deadline
+
+        calls: list[float | None] = []
+
+        def counting(model, **kwargs):
+            calls.append(kwargs.get("time_limit"))
+            return get_backend("highs")(model, **kwargs)
+
+        result = greedy_csigma(
+            sub, reqs, unit_mappings(reqs), backend=counting, budget=budget
+        )
+        # every iteration was skipped; only the final (grace-period)
+        # extraction solve ran
+        assert len(calls) == 1
+        assert result.solution.num_embedded == 0
+        assert len(result.solution.scheduled) == 2
+        assert verify_solution(result.solution).feasible
+
+    def test_budget_divides_across_iterations(self):
+        from repro.runtime import SolveBudget, get_backend
+
+        sub = one_node(cap=2.0)
+        reqs = [unit_request(n, 0, 8, 2) for n in "ABCD"]
+        budget = SolveBudget(100.0, clock=lambda: 0.0)  # frozen clock
+
+        limits: list[float | None] = []
+
+        def counting(model, **kwargs):
+            limits.append(kwargs.get("time_limit"))
+            return get_backend("highs")(model, **kwargs)
+
+        result = greedy_csigma(
+            sub, reqs, unit_mappings(reqs), backend=counting, budget=budget
+        )
+        assert result.solution.num_embedded == 4
+        # four iterations (fair shares of the remaining budget) + final
+        assert len(limits) == 5
+        for limit in limits[:-1]:
+            assert limit is not None and limit <= 100.0
+
+    def test_time_limit_builds_a_budget(self):
+        sub = one_node()
+        reqs = [unit_request("A", 0, 4, 2)]
+        result = greedy_csigma(sub, reqs, unit_mappings(reqs), time_limit=60.0)
+        assert result.solution.num_embedded == 1
+        assert verify_solution(result.solution).feasible
+
+    def test_iteration_solver_error_rejects_and_continues(self):
+        from repro.runtime import FaultMode, inject_faults
+
+        sub = one_node()
+        reqs = [unit_request("A", 0, 4, 2), unit_request("B", 0, 4, 2)]
+        # first iteration's solve dies; the second and final are clean
+        with inject_faults("highs", script={1: FaultMode.ERROR}):
+            result = greedy_csigma(sub, reqs, unit_mappings(reqs))
+        assert result.solution.num_embedded == 1
+        assert not result.solution["A"].embedded
+        assert result.solution["B"].embedded
+        assert verify_solution(result.solution).feasible

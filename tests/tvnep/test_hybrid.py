@@ -135,6 +135,50 @@ def hybrid_instance(draw):
     return cap, fraction, reqs
 
 
+class TestGlobalBudget:
+    def test_expired_budget_still_yields_feasible_solution(self):
+        from repro.runtime import SolveBudget
+
+        sub = one_node(cap=2.0)
+        reqs = [unit_request(n, 0, 8, 2) for n in "ABCD"]
+        now = [0.0]
+        budget = SolveBudget(10.0, clock=lambda: now[0])
+        now[0] = 20.0
+
+        result = hybrid_heavy_hitters(
+            sub, reqs, unit_mappings(reqs), budget=budget
+        )
+        # all insertions were skipped, but the result is still complete
+        assert len(result.solution.scheduled) == 4
+        assert verify_solution(result.solution).feasible
+
+    def test_budget_bounds_both_phases(self):
+        from repro.runtime import SolveBudget
+
+        sub = one_node(cap=2.0)
+        reqs = [unit_request(n, 0, 8, 2) for n in "ABCD"]
+        budget = SolveBudget(120.0, clock=lambda: 0.0)
+        result = hybrid_heavy_hitters(
+            sub, reqs, unit_mappings(reqs), budget=budget
+        )
+        assert verify_solution(result.solution).feasible
+        assert result.solution.num_embedded == 4
+
+    def test_insertion_fault_rejects_and_continues(self):
+        from repro.runtime import inject_faults
+
+        sub = one_node(cap=2.0)
+        reqs = [unit_request(n, 0, 8, 2) for n in "ABCD"]
+        # heavy exact solve is call 1; poison the second insertion solve
+        with inject_faults("highs", script={3: "error"}):
+            result = hybrid_heavy_hitters(
+                sub, reqs, unit_mappings(reqs), heavy_fraction=0.25
+            )
+        assert verify_solution(result.solution).feasible
+        # one insertion was rejected by the injected failure
+        assert result.solution.num_embedded == 3
+
+
 @settings(max_examples=10, deadline=None)
 @given(hybrid_instance())
 def test_hybrid_always_feasible_and_bounded(params):
