@@ -36,6 +36,11 @@ def parse_args(argv: list[str]) -> argparse.Namespace:
                         help="JSON-lines record store (enables resume)")
     parser.add_argument("--charts", action="store_true",
                         help="append bar-chart renderings")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sweep (1 = serial)")
+    parser.add_argument("--bench-json", type=str, default=None,
+                        help="also write machine-readable run stats "
+                        "(wall clock, nodes, cache hits) to this path")
     parser.add_argument("--verbose", action="store_true")
     return parser.parse_args(argv)
 
@@ -58,6 +63,8 @@ def build_config(args: argparse.Namespace) -> EvaluationConfig:
         overrides["time_limit"] = args.time_limit
     if args.num_requests is not None:
         overrides["num_requests"] = args.num_requests
+    if args.workers != 1:
+        overrides["workers"] = args.workers
     return replace(config, **overrides) if overrides else config
 
 
@@ -69,6 +76,9 @@ def main(argv: list[str] | None = None) -> int:
         f"flexibilities={config.flexibilities}, time_limit={config.time_limit}s",
         flush=True,
     )
+    from repro.mip import reset_standard_form_cache_stats, standard_form_cache_stats
+
+    reset_standard_form_cache_stats()
     started = time.perf_counter()
     evaluation = Evaluation(config, store_path=args.store)
     evaluation.run_all(verbose=args.verbose)
@@ -79,6 +89,28 @@ def main(argv: list[str] | None = None) -> int:
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(report + footer + "\n")
+    if args.bench_json:
+        import json
+
+        records = (
+            evaluation.access_records
+            + evaluation.greedy_records
+            + evaluation.objective_records
+        )
+        stats = {
+            "wall_clock_seconds": elapsed,
+            "workers": config.workers,
+            "num_records": len(records),
+            "total_solve_seconds": sum(r.runtime for r in records),
+            "total_nodes_processed": sum(r.node_count for r in records),
+            # parent-process view only: workers accumulate their own
+            # cache counters, so parallel runs under-report here
+            "standard_form_cache": standard_form_cache_stats(),
+        }
+        with open(args.bench_json, "w", encoding="utf-8") as fh:
+            json.dump(stats, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.bench_json}")
     return 0
 
 

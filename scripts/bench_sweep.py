@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Benchmark the parallel sweep engine and the standard-form cache.
+
+Runs the evaluation sweep twice — serial and with ``--workers`` worker
+processes — and a warm-started greedy run, then writes a
+machine-readable summary (``BENCH_sweep.json``) with:
+
+* wall-clock of both sweeps and the parallel-over-serial speedup,
+* branch-and-bound/HiGHS node counts and cumulative solve time,
+* whether the two record sets are identical (canonical comparison,
+  wall-clock ``runtime`` fields excluded),
+* the standard-form cache hit rate of the greedy run (warm-start
+  validation primes the memo the backend then reuses).
+
+The exit status doubles as a smoke check: nonzero when the record sets
+diverge or the cache never hits, so CI can gate on it.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_sweep.py --quick --workers 4 \
+        --output BENCH_sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+
+from repro.evaluation.experiments import Evaluation, EvaluationConfig
+from repro.mip import reset_standard_form_cache_stats, standard_form_cache_stats
+from repro.runtime.parallel import canonical_records
+
+
+def parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smoke-test scale")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes for the parallel sweep")
+    parser.add_argument("--seeds", type=int, nargs="+", default=None)
+    parser.add_argument("--time-limit", type=float, default=None)
+    parser.add_argument("--num-requests", type=int, default=None)
+    parser.add_argument("--output", type=str, default="BENCH_sweep.json")
+    return parser.parse_args(argv)
+
+
+def build_config(args: argparse.Namespace) -> EvaluationConfig:
+    config = EvaluationConfig.quick() if args.quick else EvaluationConfig()
+    overrides = {}
+    if args.seeds is not None:
+        overrides["seeds"] = tuple(args.seeds)
+    if args.time_limit is not None:
+        overrides["time_limit"] = args.time_limit
+    if args.num_requests is not None:
+        overrides["num_requests"] = args.num_requests
+    return replace(config, **overrides) if overrides else config
+
+
+def run_sweep(config: EvaluationConfig, workers: int) -> dict:
+    evaluation = Evaluation(config=replace(config, workers=workers))
+    started = time.perf_counter()
+    evaluation.run_all()
+    elapsed = time.perf_counter() - started
+    records = (
+        evaluation.access_records
+        + evaluation.greedy_records
+        + evaluation.objective_records
+    )
+    return {
+        "workers": workers,
+        "wall_clock_seconds": elapsed,
+        "num_records": len(records),
+        "total_solve_seconds": sum(r.runtime for r in records),
+        "total_nodes_processed": sum(r.node_count for r in records),
+        "records": records,
+    }
+
+
+def greedy_cache_stats(config: EvaluationConfig) -> dict:
+    """Cache counters of one warm-started greedy run (hit rate > 0:
+    every iteration's warm-start validation compiles the form the
+    backend then reuses)."""
+    from repro.tvnep import greedy_csigma
+
+    scenario = config.make_scenario(config.seeds[0]).with_flexibility(1.0)
+    reset_standard_form_cache_stats()
+    greedy_csigma(
+        scenario.substrate,
+        scenario.requests,
+        scenario.node_mappings,
+        backend=config.backend,
+        time_limit_per_iteration=config.time_limit,
+    )
+    return standard_form_cache_stats()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+    config = build_config(args)
+
+    print(f"serial sweep (seeds={config.seeds}, "
+          f"flexibilities={config.flexibilities}) ...", flush=True)
+    serial = run_sweep(config, 1)
+    print(f"  {serial['wall_clock_seconds']:.1f}s, "
+          f"{serial['num_records']} records", flush=True)
+    print(f"parallel sweep ({args.workers} workers) ...", flush=True)
+    parallel = run_sweep(config, args.workers)
+    print(f"  {parallel['wall_clock_seconds']:.1f}s, "
+          f"{parallel['num_records']} records", flush=True)
+
+    identical = canonical_records(serial.pop("records")) == canonical_records(
+        parallel.pop("records")
+    )
+    cache = greedy_cache_stats(config)
+    stats = {
+        "config": {
+            "scale": config.scale,
+            "seeds": list(config.seeds),
+            "flexibilities": list(config.flexibilities),
+            "num_requests": config.num_requests,
+            "time_limit": config.time_limit,
+            "backend": config.backend,
+        },
+        "serial": serial,
+        "parallel": parallel,
+        "speedup_vs_serial": (
+            serial["wall_clock_seconds"] / parallel["wall_clock_seconds"]
+            if parallel["wall_clock_seconds"] > 0
+            else float("inf")
+        ),
+        "records_identical": identical,
+        "greedy_standard_form_cache": cache,
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(stats, fh, indent=2)
+        fh.write("\n")
+
+    print(f"speedup vs serial: {stats['speedup_vs_serial']:.2f}x")
+    print(f"records identical: {identical}")
+    print(f"greedy cache hit rate: {cache['hit_rate']:.2f} "
+          f"({cache['hits']} hits / {cache['misses']} misses)")
+    print(f"wrote {args.output}")
+    if not identical:
+        print("FAIL: parallel record set differs from serial", file=sys.stderr)
+        return 1
+    if cache["hits"] == 0:
+        print("FAIL: standard-form cache never hit", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -114,6 +114,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the backend fallback chain (fail cells instead)",
     )
+    evaluate.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (1 = in-process serial); "
+        "parallel runs produce the same records as serial ones",
+    )
     evaluate.add_argument("--charts", action="store_true")
     evaluate.add_argument("--store", default=None,
                           help="JSON-lines record store (enables resume)")
@@ -301,6 +308,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         config = replace(config, wall_clock_budget=args.wall_clock_budget)
     if args.no_fallback:
         config = replace(config, fallback=False)
+    if args.workers != 1:
+        config = replace(config, workers=args.workers)
     evaluation = Evaluation(config, store_path=args.store)
     report = evaluation.render_all(charts=args.charts)
     print(report)

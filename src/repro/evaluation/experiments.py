@@ -27,13 +27,8 @@ from dataclasses import dataclass, field, replace
 from repro.evaluation.aggregate import series_over_flexibility
 from repro.evaluation.metrics import relative_improvement, relative_performance
 from repro.evaluation.report import render_flexibility_figure
-from repro.evaluation.runner import (
-    RunRecord,
-    error_record,
-    run_exact,
-    run_greedy,
-)
-from repro.exceptions import ReproError, ValidationError
+from repro.evaluation.runner import RunRecord
+from repro.exceptions import ValidationError
 from repro.runtime.budget import SolveBudget
 from repro.workloads.scenario import Scenario, paper_scenario, small_scenario
 
@@ -74,6 +69,10 @@ class EvaluationConfig:
     #: Cells hit by budget exhaustion are *skipped without persisting*
     #: so a resumed run completes them later.
     wall_clock_budget: float | None = None
+    #: worker processes for the sweep; 1 runs in-process.  Parallel runs
+    #: produce the same record set as serial ones (modulo wall-clock
+    #: ``runtime`` fields) — see :mod:`repro.runtime.parallel`.
+    workers: int = 1
 
     def make_scenario(self, seed: int) -> Scenario:
         if self.scale == "paper":
@@ -150,15 +149,6 @@ class Evaluation:
             self._budget_instance = SolveBudget(self.config.wall_clock_budget)
         return self._budget_instance
 
-    def _budget_exhausted(self, what: str) -> bool:
-        """True when the sweep budget ran out; the cell is then skipped
-        *without* persisting so a resumed run still solves it."""
-        budget = self._budget()
-        if budget is not None and budget.expired:
-            logger.warning("sweep budget exhausted; skipping %s", what)
-            return True
-        return False
-
     def _stored_record(self, seed, flexibility, algorithm, objective):
         store = self._store()
         if store is None or not store.has(seed, flexibility, algorithm, objective):
@@ -181,67 +171,74 @@ class Evaluation:
     # ------------------------------------------------------------------
     # sweeps
     # ------------------------------------------------------------------
+    # Each sweep builds its cells in the canonical serial order, hands
+    # the not-yet-stored ones to repro.runtime.parallel (which runs them
+    # in-process for workers=1 and across a fork pool otherwise), then
+    # integrates stored and computed records back in that same order —
+    # so resume semantics, record-file ordering and budget-skip behavior
+    # are identical no matter how many workers ran.
+
+    def _execute(self, cells) -> dict[int, RunRecord | None]:
+        """Run pending sweep cells; maps cell index -> record (or None)."""
+        from repro.runtime.parallel import CellContext, execute_cells
+
+        results = execute_cells(
+            cells,
+            CellContext.from_config(self.config),
+            workers=self.config.workers,
+            budget=self._budget(),
+            store_path=self.store_path,
+        )
+        return {result.index: result.record for result in results}
+
     def run_access_control(self, verbose: bool = False) -> list[RunRecord]:
         """Figures 3/4/8/9 sweep: every model on every scenario cell."""
         if self._ran_access:
             return self.access_records
+        from repro.runtime.parallel import SweepCell
+
         cfg = self.config
+        entries: list[RunRecord | SweepCell] = []
+        index = 0
         for seed in cfg.seeds:
-            base = cfg.make_scenario(seed)
             for flexibility in cfg.flexibilities:
-                scenario = base.with_flexibility(flexibility)
                 for model_name in cfg.models:
                     stored = self._stored_record(
                         seed, flexibility, model_name, "access_control"
                     )
-                    if stored is not None:
-                        self.access_records.append(stored)
-                        names = stored.model_stats.get("embedded_names")
-                        if model_name == "csigma" and names is not None:
-                            self.accepted_sets[(seed, flexibility)] = tuple(names)
-                        continue
-                    cell = f"seed={seed} flex={flexibility:g} {model_name}"
-                    if self._budget_exhausted(cell):
-                        continue
-                    try:
-                        record, solution = run_exact(
-                            scenario,
+                    entries.append(
+                        stored
+                        if stored is not None
+                        else SweepCell(
+                            index=index,
+                            phase="access",
+                            seed=seed,
+                            flexibility=flexibility,
                             algorithm=model_name,
-                            objective="access_control",
-                            time_limit=cfg.time_limit,
-                            backend=cfg.backend,
-                            budget=self._budget(),
-                            fallback=cfg.fallback,
-                            degrade_to_greedy=cfg.fallback,
                         )
-                    except ReproError as exc:
-                        logger.error("cell %s failed: %s", cell, exc)
-                        record, solution = (
-                            error_record(
-                                scenario, model_name, "access_control", str(exc)
-                            ),
-                            None,
-                        )
-                    if record.solved and solution is not None:
-                        record.model_stats["embedded_names"] = list(
-                            solution.embedded_names()
-                        )
-                    self.access_records.append(record)
-                    self._persist(record)
-                    if (
-                        model_name == "csigma"
-                        and record.solved
-                        and solution is not None
-                    ):
-                        self.accepted_sets[(seed, flexibility)] = tuple(
-                            solution.embedded_names()
-                        )
-                    if verbose:
-                        print(
-                            f"[access] seed={seed} flex={flexibility:g} "
-                            f"{model_name}: obj={record.objective:.4g} "
-                            f"gap={record.gap:.3g} t={record.runtime:.2f}s"
-                        )
+                    )
+                    index += 1
+        computed = self._execute([e for e in entries if isinstance(e, SweepCell)])
+        for entry in entries:
+            fresh = isinstance(entry, SweepCell)
+            record = computed.get(entry.index) if fresh else entry
+            if record is None:
+                continue  # budget-skipped: not persisted, solved on resume
+            if fresh:
+                self._persist(record)
+            self.access_records.append(record)
+            names = record.model_stats.get("embedded_names")
+            if record.algorithm == "csigma" and names is not None:
+                self.accepted_sets[(record.seed, record.flexibility)] = tuple(
+                    names
+                )
+            if fresh and verbose:
+                print(
+                    f"[access] seed={record.seed} "
+                    f"flex={record.flexibility:g} "
+                    f"{record.algorithm}: obj={record.objective:.4g} "
+                    f"gap={record.gap:.3g} t={record.runtime:.2f}s"
+                )
         self._ran_access = True
         return self.access_records
 
@@ -249,40 +246,43 @@ class Evaluation:
         """Figure 7 sweep: greedy on every scenario cell."""
         if self._ran_greedy:
             return self.greedy_records
+        from repro.runtime.parallel import SweepCell
+
         cfg = self.config
+        entries: list[RunRecord | SweepCell] = []
+        index = 0
         for seed in cfg.seeds:
-            base = cfg.make_scenario(seed)
             for flexibility in cfg.flexibilities:
                 stored = self._stored_record(
                     seed, flexibility, "greedy", "access_control"
                 )
-                if stored is not None:
-                    self.greedy_records.append(stored)
-                    continue
-                cell = f"seed={seed} flex={flexibility:g} greedy"
-                if self._budget_exhausted(cell):
-                    continue
-                scenario = base.with_flexibility(flexibility)
-                try:
-                    record, _ = run_greedy(
-                        scenario,
-                        time_limit_per_iteration=cfg.time_limit,
-                        backend=cfg.backend,
-                        budget=self._budget(),
-                        fallback=cfg.fallback,
+                entries.append(
+                    stored
+                    if stored is not None
+                    else SweepCell(
+                        index=index,
+                        phase="greedy",
+                        seed=seed,
+                        flexibility=flexibility,
+                        algorithm="greedy",
                     )
-                except ReproError as exc:
-                    logger.error("cell %s failed: %s", cell, exc)
-                    record = error_record(
-                        scenario, "greedy", "access_control", str(exc)
-                    )
-                self.greedy_records.append(record)
+                )
+                index += 1
+        computed = self._execute([e for e in entries if isinstance(e, SweepCell)])
+        for entry in entries:
+            fresh = isinstance(entry, SweepCell)
+            record = computed.get(entry.index) if fresh else entry
+            if record is None:
+                continue
+            if fresh:
                 self._persist(record)
-                if verbose:
-                    print(
-                        f"[greedy] seed={seed} flex={flexibility:g}: "
-                        f"obj={record.objective:.4g} t={record.runtime:.2f}s"
-                    )
+            self.greedy_records.append(record)
+            if fresh and verbose:
+                print(
+                    f"[greedy] seed={record.seed} "
+                    f"flex={record.flexibility:g}: "
+                    f"obj={record.objective:.4g} t={record.runtime:.2f}s"
+                )
         self._ran_greedy = True
         return self.greedy_records
 
@@ -296,53 +296,49 @@ class Evaluation:
         if self._ran_objectives:
             return self.objective_records
         self.run_access_control()
+        from repro.runtime.parallel import SweepCell
+
         cfg = self.config
+        entries: list[RunRecord | SweepCell] = []
+        index = 0
         for seed in cfg.seeds:
-            base = cfg.make_scenario(seed)
             for flexibility in cfg.flexibilities:
                 accepted = self.accepted_sets.get((seed, flexibility), ())
                 if not accepted:
                     continue
-                scenario = base.with_flexibility(flexibility).subset(accepted)
                 for objective in FIXED_OBJECTIVES:
                     stored = self._stored_record(
                         seed, flexibility, "csigma", objective
                     )
-                    if stored is not None:
-                        self.objective_records.append(stored)
-                        continue
-                    cell = f"seed={seed} flex={flexibility:g} {objective}"
-                    if self._budget_exhausted(cell):
-                        continue
-                    kwargs = (
-                        {"load_fraction": cfg.load_fraction}
-                        if objective == "balance_node_load"
-                        else {}
-                    )
-                    try:
-                        record, _ = run_exact(
-                            scenario,
+                    entries.append(
+                        stored
+                        if stored is not None
+                        else SweepCell(
+                            index=index,
+                            phase="objective",
+                            seed=seed,
+                            flexibility=flexibility,
                             algorithm="csigma",
                             objective=objective,
-                            time_limit=cfg.time_limit,
-                            backend=cfg.backend,
                             force_embedded=tuple(accepted),
-                            objective_kwargs=kwargs,
-                            budget=self._budget(),
-                            fallback=cfg.fallback,
                         )
-                    except ReproError as exc:
-                        logger.error("cell %s failed: %s", cell, exc)
-                        record = error_record(
-                            scenario, "csigma", objective, str(exc)
-                        )
-                    self.objective_records.append(record)
-                    self._persist(record)
-                    if verbose:
-                        print(
-                            f"[{objective}] seed={seed} flex={flexibility:g}: "
-                            f"obj={record.objective:.4g} t={record.runtime:.2f}s"
-                        )
+                    )
+                    index += 1
+        computed = self._execute([e for e in entries if isinstance(e, SweepCell)])
+        for entry in entries:
+            fresh = isinstance(entry, SweepCell)
+            record = computed.get(entry.index) if fresh else entry
+            if record is None:
+                continue
+            if fresh:
+                self._persist(record)
+            self.objective_records.append(record)
+            if fresh and verbose:
+                print(
+                    f"[{record.objective_name}] seed={record.seed} "
+                    f"flex={record.flexibility:g}: "
+                    f"obj={record.objective:.4g} t={record.runtime:.2f}s"
+                )
         self._ran_objectives = True
         return self.objective_records
 

@@ -29,7 +29,15 @@ from typing import Iterable
 from repro.evaluation.runner import RunRecord
 from repro.exceptions import ValidationError
 
-__all__ = ["save_records", "load_records", "append_record", "RecordStore"]
+__all__ = [
+    "save_records",
+    "load_records",
+    "append_record",
+    "shard_path",
+    "list_shard_paths",
+    "merge_shards",
+    "RecordStore",
+]
 
 logger = logging.getLogger("repro.runtime")
 
@@ -130,6 +138,73 @@ def load_records(path: str) -> list[RunRecord]:
     return records
 
 
+def shard_path(path: str, worker_id: int) -> str:
+    """The per-worker shard file for ``path`` (parallel sweeps).
+
+    Concurrent sweep workers never touch the main store: each appends
+    to its own shard, so there is exactly one writer per file and the
+    main store keeps its single-writer guarantees.
+    """
+    return f"{path}.shard-{worker_id:03d}"
+
+
+def list_shard_paths(path: str) -> list[str]:
+    """Existing shard files of ``path``, in worker order."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    prefix = os.path.basename(path) + ".shard-"
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    return [
+        os.path.join(directory, name)
+        for name in sorted(names)
+        if name.startswith(prefix)
+    ]
+
+
+def merge_shards(path: str) -> int:
+    """Fold leftover worker shards into the main store; returns #recovered.
+
+    Shards only outlive a sweep when the parent crashed before
+    persisting the pool's results, so every record found here is work
+    that would otherwise be re-solved.  Records whose cell is already
+    in the main store are dropped (the parent may have persisted some
+    results before dying); the merged file is rewritten atomically and
+    the shards are removed.
+    """
+    shards = list_shard_paths(path)
+    if not shards:
+        return 0
+    merged: list[RunRecord] = load_records(path) if os.path.exists(path) else []
+    cells = {RecordStore._cell(r) for r in merged}
+    recovered = 0
+    for shard in shards:
+        try:
+            shard_records = load_records(shard)
+        except ValidationError as exc:
+            logger.warning("ignoring unreadable shard %s (%s)", shard, exc)
+            continue
+        for record in shard_records:
+            cell = RecordStore._cell(record)
+            if cell in cells:
+                continue
+            merged.append(record)
+            cells.add(cell)
+            recovered += 1
+    if recovered:
+        logger.warning(
+            "recovered %d record(s) from %d orphaned shard(s) of %s",
+            recovered,
+            len(shards),
+            path,
+        )
+        save_records(merged, path)
+    for shard in shards:
+        os.remove(shard)
+    return recovered
+
+
 class RecordStore:
     """Append-only store with cell-level resume semantics.
 
@@ -140,6 +215,7 @@ class RecordStore:
 
     def __init__(self, path: str) -> None:
         self.path = path
+        merge_shards(path)  # fold in shards orphaned by a mid-sweep crash
         self.records: list[RunRecord] = (
             load_records(path) if os.path.exists(path) else []
         )

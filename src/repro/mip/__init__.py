@@ -27,7 +27,13 @@ from repro.mip.constraint import Constraint, Sense
 from repro.mip.expr import LinExpr, Variable, VarType, quicksum
 from repro.mip.highs_backend import solve as solve_highs
 from repro.mip.highs_backend import solve_relaxation
-from repro.mip.model import Model, ObjectiveSense, StandardForm
+from repro.mip.model import (
+    Model,
+    ObjectiveSense,
+    StandardForm,
+    reset_standard_form_cache_stats,
+    standard_form_cache_stats,
+)
 from repro.mip.reader import read_lp, read_lp_file
 from repro.mip.solution import Solution, SolveStatus, relative_gap
 from repro.mip.writer import write_lp, write_lp_file
@@ -49,6 +55,8 @@ __all__ = [
     "solve_highs",
     "solve_bnb",
     "solve_relaxation",
+    "standard_form_cache_stats",
+    "reset_standard_form_cache_stats",
     "write_lp",
     "write_lp_file",
     "read_lp",

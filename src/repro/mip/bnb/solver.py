@@ -18,6 +18,7 @@ node.  Branching and node-selection strategies are pluggable
 
 from __future__ import annotations
 
+import logging
 import math
 import time
 
@@ -34,8 +35,11 @@ from repro.mip.bnb.node_selection import NodeSelection, make_node_selection
 from repro.mip.highs_backend import _lp_data
 from repro.mip.model import Model, StandardForm
 from repro.mip.solution import Solution, SolveStatus
+from repro.mip.warm_start import coerce_assignment, validate_assignment
 
 __all__ = ["BranchAndBoundSolver", "solve"]
+
+logger = logging.getLogger("repro.runtime")
 
 BNB_NAME = "bnb"
 
@@ -95,6 +99,7 @@ class BranchAndBoundSolver:
         time_limit: float | None = None,
         node_limit: int | None = None,
         budget=None,
+        warm_start=None,
     ) -> Solution:
         """Run branch-and-bound on ``model``.
 
@@ -102,6 +107,13 @@ class BranchAndBoundSolver:
         LP relaxations solved.  ``budget`` (a
         :class:`~repro.runtime.budget.SolveBudget`) tightens
         ``time_limit`` to the globally remaining wall-clock time.
+
+        ``warm_start`` is an optional assignment (mapping of
+        ``Variable``/name → value, or a full vector) believed feasible;
+        if it validates against the compiled form it becomes the initial
+        incumbent, so the search never returns anything worse and prunes
+        at least as aggressively as a cold start.  An invalid warm start
+        is rejected with a warning — never silently used.
         """
         if budget is not None:
             if budget.expired:
@@ -128,6 +140,23 @@ class BranchAndBoundSolver:
 
         incumbent_x: np.ndarray | None = None
         incumbent_internal = math.inf  # internal = minimization objective
+        if warm_start is not None:
+            coerced = coerce_assignment(form, warm_start)
+            reason = (
+                "uninterpretable assignment"
+                if coerced is None
+                else validate_assignment(form, coerced)
+            )
+            if reason is None:
+                incumbent_x = coerced
+                incumbent_internal = float(form.c @ coerced)
+                selection.notify_incumbent()
+                logger.debug(
+                    "warm start accepted as incumbent (objective %s)",
+                    form.user_objective(coerced),
+                )
+            else:
+                logger.warning("rejecting invalid warm start: %s", reason)
         nodes_processed = 0
         hit_limit = False
 
@@ -138,7 +167,8 @@ class BranchAndBoundSolver:
             presolved = tighten_bounds(form, root_lb, root_ub)
             if not presolved.feasible:
                 return self._finish(
-                    form, None, math.inf, math.inf, start, 0, False
+                    form, incumbent_x, incumbent_internal, incumbent_internal,
+                    start, 0, False,
                 )
             root_lb, root_ub = presolved.lb, presolved.ub
 
@@ -147,7 +177,8 @@ class BranchAndBoundSolver:
         nodes_processed += 1
         if root_outcome.status == "infeasible":
             return self._finish(
-                form, None, math.inf, math.inf, start, nodes_processed, False
+                form, incumbent_x, incumbent_internal, incumbent_internal,
+                start, nodes_processed, False,
             )
         if root_outcome.status == "unbounded":
             return Solution(
@@ -201,8 +232,9 @@ class BranchAndBoundSolver:
             rounded = self._try_rounding(form, root_outcome.x, root_lb, root_ub)
             if rounded is not None:
                 nodes_processed += 1
-                incumbent_internal, incumbent_x = rounded
-                selection.notify_incumbent()
+                if rounded[0] < incumbent_internal:
+                    incumbent_internal, incumbent_x = rounded
+                    selection.notify_incumbent()
 
         # queue of (node, lp outcome) pairs whose relaxation is solved
         pending: list[tuple[BranchNode, _LPOutcome]] = [(root, root_outcome)]
@@ -429,11 +461,16 @@ def solve(
     branching: str = "pseudocost",
     node_selection: str = "hybrid",
     budget=None,
+    warm_start=None,
 ) -> Solution:
     """Convenience wrapper around :class:`BranchAndBoundSolver`."""
     solver = BranchAndBoundSolver(
         branching=branching, node_selection=node_selection, mip_gap=mip_gap
     )
     return solver.solve(
-        model, time_limit=time_limit, node_limit=node_limit, budget=budget
+        model,
+        time_limit=time_limit,
+        node_limit=node_limit,
+        budget=budget,
+        warm_start=warm_start,
     )

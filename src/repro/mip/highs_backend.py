@@ -42,6 +42,7 @@ def solve(
     node_limit: int | None = None,
     presolve: bool = True,
     budget=None,
+    warm_start=None,
 ) -> Solution:
     """Solve a model with HiGHS branch-and-cut.
 
@@ -49,6 +50,12 @@ def solve(
     ----------
     model:
         The model to solve.
+    warm_start:
+        Accepted for backend-signature compatibility so callers (the
+        resilient fallback chain, the greedy incremental loop) can pass
+        warm starts uniformly; :func:`scipy.optimize.milp` offers no
+        warm-start interface, so it is ignored here.  The ``bnb``
+        backend uses it as its initial incumbent.
     time_limit:
         Wall-clock limit in seconds; on expiry the best incumbent (if
         any) is returned with status ``FEASIBLE``, mirroring the paper's

@@ -25,7 +25,40 @@ from repro.exceptions import ModelingError
 from repro.mip.constraint import Constraint, Sense
 from repro.mip.expr import ExprLike, LinExpr, Variable, VarType, as_expr
 
-__all__ = ["ObjectiveSense", "StandardForm", "Model"]
+__all__ = [
+    "ObjectiveSense",
+    "StandardForm",
+    "Model",
+    "standard_form_cache_stats",
+    "reset_standard_form_cache_stats",
+]
+
+#: process-wide compilation counters; the benchmark harness reads these
+#: to report the standard-form cache hit rate of a run.
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def standard_form_cache_stats() -> dict[str, float]:
+    """Process-wide ``to_standard_form`` memoization counters.
+
+    Returns ``{"hits": int, "misses": int, "hit_rate": float}`` where
+    ``hit_rate`` is ``hits / (hits + misses)`` (0.0 when nothing was
+    compiled yet).  A *miss* is a full COO→CSR assembly; a *hit* returns
+    the memoized :class:`StandardForm` of an unmutated model.
+    """
+    hits, misses = _CACHE_STATS["hits"], _CACHE_STATS["misses"]
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": (hits / total) if total else 0.0,
+    }
+
+
+def reset_standard_form_cache_stats() -> None:
+    """Zero the process-wide cache counters (benchmark bookkeeping)."""
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
 
 
 class ObjectiveSense(enum.Enum):
@@ -102,6 +135,11 @@ class Model:
         self._constraints: list[Constraint] = []
         self._objective: LinExpr = LinExpr()
         self._sense: ObjectiveSense = ObjectiveSense.MINIMIZE
+        # standard-form memoization: the compiled matrices are reused
+        # until any mutation bumps the version (dirty-flag invalidation)
+        self._mutation_version: int = 0
+        self._form_cache: StandardForm | None = None
+        self._form_cache_version: int = -1
 
     # ------------------------------------------------------------------
     # variables
@@ -125,6 +163,7 @@ class Model:
         var = Variable(name, lb=lb, ub=ub, vtype=vtype, index=len(self._vars))
         self._vars.append(var)
         self._var_names.add(name)
+        self.invalidate_standard_form()
         return var
 
     def binary_var(self, name: str) -> Variable:
@@ -174,6 +213,7 @@ class Model:
                 f"cannot fix {var.name!r} to {value}: outside [{var.lb}, {var.ub}]"
             )
         var.lb = var.ub = float(value)
+        self.invalidate_standard_form()
 
     # ------------------------------------------------------------------
     # constraints
@@ -202,6 +242,7 @@ class Model:
         for var in constraint.lhs.terms:
             self._check_owned(var)
         self._constraints.append(constraint)
+        self.invalidate_standard_form()
         return constraint
 
     def add_constrs(
@@ -233,6 +274,7 @@ class Model:
             self._check_owned(var)
         self._objective = expr.copy()
         self._sense = sense
+        self.invalidate_standard_form()
 
     @property
     def objective(self) -> LinExpr:
@@ -245,8 +287,42 @@ class Model:
     # ------------------------------------------------------------------
     # compilation
     # ------------------------------------------------------------------
+    def invalidate_standard_form(self) -> None:
+        """Drop the memoized :class:`StandardForm`.
+
+        Every mutating ``Model`` method calls this; the only time user
+        code must call it by hand is after mutating a ``Variable``'s
+        bounds *directly* (``var.lb = ...``) instead of going through
+        :meth:`fix_var` — the model cannot observe such writes.
+        """
+        self._mutation_version += 1
+        self._form_cache = None
+
     def to_standard_form(self) -> StandardForm:
-        """Compile to the matrix form consumed by the solver backends."""
+        """Compile to the matrix form consumed by the solver backends.
+
+        The result is memoized: repeated calls on an unmutated model
+        return the *same* :class:`StandardForm` object, so backend
+        chains (HiGHS solve → relaxation, resilient rungs, warm-start
+        validation) share one matrix assembly and any per-form caches
+        attached to it.  Any mutation (new variable/constraint, new
+        objective, :meth:`fix_var`) invalidates the memo.  Callers must
+        treat the returned form as read-only.
+        """
+        if (
+            self._form_cache is not None
+            and self._form_cache_version == self._mutation_version
+        ):
+            _CACHE_STATS["hits"] += 1
+            return self._form_cache
+        _CACHE_STATS["misses"] += 1
+        form = self._compile_standard_form()
+        self._form_cache = form
+        self._form_cache_version = self._mutation_version
+        return form
+
+    def _compile_standard_form(self) -> StandardForm:
+        """The actual COO→CSR assembly (always a fresh compile)."""
         n = len(self._vars)
         c = np.zeros(n)
         for var, coef in self._objective.terms.items():

@@ -106,6 +106,9 @@ def read_lp(text: str) -> Model:
                 raise ModelingError(f"General section names unknown variable {token!r}")
             var.vtype = VarType.INTEGER
 
+    # the bounds/integrality sections above mutate variables directly,
+    # which the model's standard-form memo cannot observe
+    model.invalidate_standard_form()
     return model
 
 

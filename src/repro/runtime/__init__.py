@@ -15,7 +15,10 @@ through it (via :func:`repro.mip.solve` and the backend registry):
   structured attempt logging (:mod:`repro.runtime.resilient`);
 * :class:`FaultInjector` — a deterministic fault-injection harness used
   by the tests to prove the chain and the sweep runner degrade instead
-  of dying (:mod:`repro.runtime.faults`).
+  of dying (:mod:`repro.runtime.faults`);
+* the parallel sweep engine — process-pool execution of evaluation
+  cells with fair budget slices, crash-safe per-worker record shards
+  and serial-identical results (:mod:`repro.runtime.parallel`).
 
 Attempt-level diagnostics are emitted on the ``repro.runtime`` logger.
 """
@@ -29,10 +32,26 @@ from repro.runtime.backends import (
 )
 from repro.runtime.budget import SolveBudget
 from repro.runtime.faults import FaultInjector, FaultMode, corrupt_solution, inject_faults
+from repro.runtime.parallel import (
+    CellContext,
+    CellResult,
+    SweepCell,
+    canonical_record,
+    canonical_records,
+    execute_cells,
+    run_cell,
+)
 from repro.runtime.resilient import Attempt, ResilientBackend, Rung, default_chain
 
 __all__ = [
     "SolveBudget",
+    "SweepCell",
+    "CellContext",
+    "CellResult",
+    "run_cell",
+    "execute_cells",
+    "canonical_record",
+    "canonical_records",
     "Backend",
     "register_backend",
     "get_backend",

@@ -93,6 +93,12 @@ class ResilientBackend:
     (``model.solve(backend=chain)``, the greedy's ``backend=`` argument,
     the evaluation config, ...).
 
+    Extra ``**kwargs`` — in particular ``warm_start`` from the
+    incremental greedy/hybrid loops — are forwarded verbatim to every
+    rung, so a warm start reaches whichever backend ends up answering
+    (HiGHS accepts-and-ignores it; branch-and-bound seeds its incumbent
+    with it).
+
     Parameters
     ----------
     rungs:

@@ -34,17 +34,78 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import ModelingError, SolverError
 from repro.mip.model import ObjectiveSense
+from repro.mip.solution import Solution
 from repro.network.request import Request
 from repro.network.substrate import SubstrateNetwork
 from repro.runtime.budget import SolveBudget
 from repro.tvnep.base import ModelOptions
 from repro.tvnep.csigma_model import CSigmaModel
 from repro.tvnep.solution import ScheduledRequest, TemporalSolution
+from repro.tvnep.warmstart import validated_warm_start
 from repro.vnep.embedding_vars import NodeMapping
 
 __all__ = ["GreedyResult", "greedy_csigma", "greedy_enumerative"]
 
 logger = logging.getLogger("repro.runtime")
+
+
+def _pinned_schedule(
+    current: Mapping[str, Request],
+    accepted: Sequence[str],
+    candidate: str | None = None,
+) -> dict[str, tuple[bool, float, float]]:
+    """The warm-start schedule implied by the iteration state.
+
+    Every processed request sits at its pinned window; the candidate
+    (if any) is proposed rejected at its earliest slot — exactly the
+    feasible state the previous iteration established.
+    """
+    accepted_set = set(accepted)
+    schedule: dict[str, tuple[bool, float, float]] = {}
+    for name, request in current.items():
+        if name == candidate:
+            schedule[name] = (
+                False,
+                request.earliest_start,
+                request.earliest_start + request.duration,
+            )
+        else:
+            # pinned copies carry the chosen window as their only window
+            schedule[name] = (
+                name in accepted_set,
+                request.earliest_start,
+                request.latest_end,
+            )
+    return schedule
+
+
+def _link_flow_values(raw: Solution) -> dict[str, float]:
+    """Extract ``x_E`` values by name for reuse in the next iteration."""
+    return {
+        var.name: value
+        for var, value in raw.values.items()
+        if var.name.startswith("xE[")
+    }
+
+
+def solve_raw_warm(model, backend, time_limit, warm_start):
+    """``solve_raw`` passing ``warm_start`` only when one exists.
+
+    A custom backend callable that does not take the keyword is retried
+    cold — warm starts are an optimization and must never turn into a
+    hard dependency on a backend's signature.
+    """
+    if warm_start is None:
+        return model.solve_raw(backend=backend, time_limit=time_limit)
+    try:
+        return model.solve_raw(
+            backend=backend, time_limit=time_limit, warm_start=warm_start
+        )
+    except TypeError:
+        logger.debug(
+            "backend %r rejected the warm_start keyword; solving cold", backend
+        )
+        return model.solve_raw(backend=backend, time_limit=time_limit)
 
 
 @dataclass
@@ -126,6 +187,9 @@ def greedy_csigma(
     accepted: list[str] = []
     rejected: list[str] = []
     runtimes: list[float] = []
+    # x_E values of the last successful solve, reused to warm-start the
+    # next iteration (flows are time-invariant, so they stay feasible)
+    flow_values: dict[str, float] = {}
 
     def reject(request: Request) -> None:
         # fix times anyway (Definition 2.1); earliest slot
@@ -177,9 +241,15 @@ def greedy_csigma(
                 + (horizon - model.t_end[request.name]),
                 ObjectiveSense.MAXIMIZE,
             )
-            raw = model.solve_raw(
-                backend=backend, time_limit=iteration_limit
+            # warm-start with the previous accepted state (candidate
+            # proposed rejected) — the search then starts with a known
+            # incumbent instead of cold
+            warm = validated_warm_start(
+                model,
+                _pinned_schedule(current, accepted, candidate=request.name),
+                flow_values,
             )
+            raw = solve_raw_warm(model, backend, iteration_limit, warm)
         except (SolverError, ModelingError) as exc:
             # a failed iteration conservatively rejects the request —
             # the run degrades instead of dying (Sec. V semantics: a
@@ -192,6 +262,8 @@ def greedy_csigma(
             continue
         runtimes.append(time.perf_counter() - tick)
 
+        if raw.has_solution:
+            flow_values = _link_flow_values(raw)
         embeddable = (
             raw.has_solution
             and raw.rounded(target.x_embed) == 1
@@ -224,7 +296,10 @@ def greedy_csigma(
     if budget is not None:
         final_limit = max(budget.clamp(None), 1.0)
     try:
-        final_raw = final_model.solve_raw(backend=backend, time_limit=final_limit)
+        final_warm = validated_warm_start(
+            final_model, _pinned_schedule(current, accepted), flow_values
+        )
+        final_raw = solve_raw_warm(final_model, backend, final_limit, final_warm)
     except SolverError as exc:
         raise SolverError(
             f"greedy final extraction solve failed: {exc}"

@@ -36,7 +36,9 @@ from repro.network.substrate import SubstrateNetwork
 from repro.runtime.budget import SolveBudget
 from repro.tvnep.base import ModelOptions
 from repro.tvnep.csigma_model import CSigmaModel
+from repro.tvnep.greedy import _link_flow_values, _pinned_schedule, solve_raw_warm
 from repro.tvnep.solution import ScheduledRequest, TemporalSolution
+from repro.tvnep.warmstart import validated_warm_start
 from repro.vnep.embedding_vars import NodeMapping
 
 __all__ = ["HybridResult", "hybrid_heavy_hitters"]
@@ -137,8 +139,11 @@ def hybrid_heavy_hitters(
         fixed_mappings={name: fixed_mappings[name] for name in heavy_names},
         options=options,
     )
-    exact_solution = exact_model.solve(backend=backend, time_limit=exact_time_limit)
+    exact_raw = exact_model.solve_raw(backend=backend, time_limit=exact_time_limit)
+    exact_solution = exact_model.extract(exact_raw)
     exact_runtime = time.perf_counter() - tick
+    # x_E values of the exact phase seed the insertion warm starts
+    flow_values = _link_flow_values(exact_raw) if exact_raw.has_solution else {}
 
     # pin the heavy-hitters' outcomes
     current: dict[str, Request] = {}
@@ -200,7 +205,12 @@ def hybrid_heavy_hitters(
                 target.x_embed * horizon + (horizon - model.t_end[request.name]),
                 ObjectiveSense.MAXIMIZE,
             )
-            raw = model.solve_raw(backend=backend, time_limit=iteration_limit)
+            warm = validated_warm_start(
+                model,
+                _pinned_schedule(current, accepted, candidate=request.name),
+                flow_values,
+            )
+            raw = solve_raw_warm(model, backend, iteration_limit, warm)
         except (SolverError, ModelingError) as exc:
             logger.warning(
                 "hybrid insertion for %s failed (%s); rejecting", request.name, exc
@@ -209,6 +219,8 @@ def hybrid_heavy_hitters(
             _reject()
             continue
         greedy_runtimes.append(time.perf_counter() - tick)
+        if raw.has_solution:
+            flow_values = _link_flow_values(raw)
         if raw.has_solution and raw.rounded(target.x_embed) == 1:
             start = raw.value(model.t_start[request.name])
             end = raw.value(model.t_end[request.name])
@@ -230,8 +242,11 @@ def hybrid_heavy_hitters(
     )
     # fully pinned and cheap; granted a grace second past the deadline
     final_limit = max(budget.clamp(None), 1.0) if budget is not None else None
+    final_warm = validated_warm_start(
+        final_model, _pinned_schedule(current, accepted), flow_values
+    )
     solution = final_model.extract(
-        final_model.solve_raw(backend=backend, time_limit=final_limit)
+        solve_raw_warm(final_model, backend, final_limit, final_warm)
     )
 
     solution = _restore_requests(solution, requests)

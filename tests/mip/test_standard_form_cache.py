@@ -1,0 +1,94 @@
+"""The standard-form memo: hits, misses, and invalidation on mutation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mip import (
+    Model,
+    ObjectiveSense,
+    reset_standard_form_cache_stats,
+    solve_highs,
+    standard_form_cache_stats,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_stats():
+    reset_standard_form_cache_stats()
+    yield
+    reset_standard_form_cache_stats()
+
+
+def small_model():
+    m = Model()
+    x = m.binary_var("x")
+    y = m.continuous_var("y", ub=4)
+    m.add_constr(x + y <= 3)
+    m.set_objective(x + y, ObjectiveSense.MAXIMIZE)
+    return m, x, y
+
+
+class TestMemo:
+    def test_second_compile_is_a_hit(self):
+        m, _, _ = small_model()
+        first = m.to_standard_form()
+        second = m.to_standard_form()
+        assert first is second
+        stats = standard_form_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_repeated_solves_share_one_compile(self):
+        m, _, _ = small_model()
+        assert solve_highs(m).objective == pytest.approx(3.0)
+        assert solve_highs(m).objective == pytest.approx(3.0)
+        stats = standard_form_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] >= 1
+
+
+class TestInvalidation:
+    def test_add_var_invalidates(self):
+        m, _, _ = small_model()
+        first = m.to_standard_form()
+        m.continuous_var("z", ub=1)
+        second = m.to_standard_form()
+        assert first is not second
+        assert second.num_vars == first.num_vars + 1
+
+    def test_add_constr_invalidates(self):
+        m, x, y = small_model()
+        first = m.to_standard_form()
+        m.add_constr(x + 2 * y <= 2)
+        second = m.to_standard_form()
+        assert first is not second
+        assert second.num_constraints == first.num_constraints + 1
+
+    def test_set_objective_invalidates(self):
+        m, x, _ = small_model()
+        first = m.to_standard_form()
+        m.set_objective(x, ObjectiveSense.MINIMIZE)
+        second = m.to_standard_form()
+        assert first is not second
+
+    def test_fix_var_invalidates(self):
+        m, x, _ = small_model()
+        first = m.to_standard_form()
+        m.fix_var(x, 1.0)
+        second = m.to_standard_form()
+        assert first is not second
+        assert second.lb[x.index] == 1.0
+        assert second.ub[x.index] == 1.0
+
+    def test_manual_invalidation_after_direct_bound_mutation(self):
+        # mutating a Variable directly bypasses the Model API; callers
+        # doing that must invalidate by hand (documented contract)
+        m, _, y = small_model()
+        first = m.to_standard_form()
+        y.ub = 2.0
+        m.invalidate_standard_form()
+        second = m.to_standard_form()
+        assert first is not second
+        assert second.ub[y.index] == 2.0

@@ -1,0 +1,151 @@
+"""Warm starts: coercion, validation, and bnb incumbent seeding.
+
+The contract under test: a *feasible* warm start never yields a worse
+incumbent and never costs extra branch-and-bound nodes; an *invalid*
+one is rejected with a warning — never silently used.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.mip import (
+    Model,
+    ObjectiveSense,
+    SolveStatus,
+    quicksum,
+    solve_bnb,
+)
+from repro.mip.warm_start import coerce_assignment, validate_assignment
+
+
+def knapsack(weights, profits, capacity):
+    m = Model("knap")
+    xs = [m.binary_var(f"x{i}") for i in range(len(weights))]
+    m.add_constr(
+        quicksum(w * x for w, x in zip(weights, xs)) <= capacity, name="cap"
+    )
+    m.set_objective(
+        quicksum(p * x for p, x in zip(profits, xs)), ObjectiveSense.MAXIMIZE
+    )
+    return m, xs
+
+
+class TestCoerce:
+    def test_variable_keys(self):
+        m, xs = knapsack([2, 3, 4], [3, 4, 5], 5)
+        form = m.to_standard_form()
+        x = coerce_assignment(form, {xs[0]: 1.0, xs[1]: 1.0})
+        assert x is not None
+        # missing variables default to 0 clamped into bounds
+        np.testing.assert_allclose(x, [1.0, 1.0, 0.0])
+
+    def test_name_keys(self):
+        m, _ = knapsack([2, 3, 4], [3, 4, 5], 5)
+        form = m.to_standard_form()
+        x = coerce_assignment(form, {"x2": 1.0})
+        np.testing.assert_allclose(x, [0.0, 0.0, 1.0])
+
+    def test_unknown_name_uninterpretable(self):
+        m, _ = knapsack([2, 3], [3, 4], 5)
+        assert coerce_assignment(m.to_standard_form(), {"nope": 1.0}) is None
+
+    def test_foreign_variable_uninterpretable(self):
+        m, _ = knapsack([2, 3], [3, 4], 5)
+        other = Model()
+        alien = other.binary_var("alien")
+        assert coerce_assignment(m.to_standard_form(), {alien: 1.0}) is None
+
+    def test_vector(self):
+        m, _ = knapsack([2, 3], [3, 4], 5)
+        form = m.to_standard_form()
+        x = coerce_assignment(form, np.array([1.0, 0.0]))
+        np.testing.assert_allclose(x, [1.0, 0.0])
+        assert coerce_assignment(form, np.array([1.0])) is None
+        assert coerce_assignment(form, [1.0, np.nan]) is None
+
+    def test_non_numeric_value(self):
+        m, xs = knapsack([2, 3], [3, 4], 5)
+        assert (
+            coerce_assignment(m.to_standard_form(), {xs[0]: "huh"}) is None
+        )
+
+
+class TestValidate:
+    def test_feasible_point_passes(self):
+        m, _ = knapsack([2, 3, 4], [3, 4, 5], 5)
+        form = m.to_standard_form()
+        assert validate_assignment(form, np.array([1.0, 1.0, 0.0])) is None
+
+    def test_near_integral_values_snap(self):
+        m, _ = knapsack([2, 3], [3, 4], 5)
+        form = m.to_standard_form()
+        x = np.array([0.999999, 1e-7])
+        assert validate_assignment(form, x) is None
+        np.testing.assert_allclose(x, [1.0, 0.0])
+
+    def test_fractional_integral_rejected(self):
+        m, _ = knapsack([2, 3], [3, 4], 5)
+        reason = validate_assignment(m.to_standard_form(), np.array([0.5, 0.0]))
+        assert reason is not None and "fractional" in reason
+
+    def test_out_of_bounds_rejected(self):
+        m, _ = knapsack([2, 3], [3, 4], 5)
+        reason = validate_assignment(m.to_standard_form(), np.array([2.0, 0.0]))
+        assert reason is not None and "outside" in reason
+
+    def test_violated_row_rejected(self):
+        m, _ = knapsack([2, 3], [3, 4], 4)
+        reason = validate_assignment(m.to_standard_form(), np.array([1.0, 1.0]))
+        assert reason is not None and "cap" in reason
+
+
+class TestBnbWarmStart:
+    @pytest.mark.parametrize("capacity", [5, 9, 12])
+    def test_never_worse_and_no_more_nodes(self, capacity):
+        m, _ = knapsack([2, 3, 4, 5, 7], [3, 4, 5, 6, 9], capacity)
+        cold = solve_bnb(m)
+        warm = solve_bnb(m, warm_start=cold.values)
+        assert warm.objective == pytest.approx(cold.objective)
+        assert warm.node_count <= cold.node_count
+
+    def test_incumbent_survives_node_starvation(self):
+        # even when the search is cut off immediately, the warm start is
+        # the incumbent: the solver never reports worse than it
+        m, xs = knapsack([3, 5, 7, 4, 6], [4, 7, 9, 5, 8], 12)
+        warm = solve_bnb(m, warm_start={xs[0]: 1.0, xs[3]: 1.0}, node_limit=1)
+        assert warm.has_solution
+        assert warm.objective >= 9.0 - 1e-9
+
+    def test_infeasible_warm_start_rejected(self, caplog):
+        m, xs = knapsack([2, 3, 4], [3, 4, 5], 5)
+        with caplog.at_level(logging.WARNING, logger="repro.runtime"):
+            sol = solve_bnb(m, warm_start={x: 1.0 for x in xs})
+        assert "rejecting invalid warm start" in caplog.text
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(7.0)
+
+    def test_fractional_warm_start_rejected(self, caplog):
+        m, xs = knapsack([2, 3, 4], [3, 4, 5], 5)
+        with caplog.at_level(logging.WARNING, logger="repro.runtime"):
+            sol = solve_bnb(m, warm_start={xs[0]: 0.5})
+        assert "rejecting invalid warm start" in caplog.text
+        assert sol.objective == pytest.approx(7.0)
+
+    def test_uninterpretable_warm_start_rejected(self, caplog):
+        m, _ = knapsack([2, 3, 4], [3, 4, 5], 5)
+        with caplog.at_level(logging.WARNING, logger="repro.runtime"):
+            sol = solve_bnb(m, warm_start={"nope": 1.0})
+        assert "rejecting invalid warm start" in caplog.text
+        assert sol.objective == pytest.approx(7.0)
+
+    def test_infeasible_model_stays_infeasible(self):
+        m = Model()
+        x = m.binary_var("x")
+        m.add_constr(x >= 0.4)
+        m.add_constr(x <= 0.6)
+        sol = solve_bnb(m, warm_start={x: 1.0})
+        assert sol.status is SolveStatus.INFEASIBLE
