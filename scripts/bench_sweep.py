@@ -9,6 +9,8 @@ machine-readable summary (``BENCH_sweep.json``) with:
 * branch-and-bound/HiGHS node counts and cumulative solve time,
 * whether the two record sets are identical (canonical comparison,
   wall-clock ``runtime`` fields excluded),
+* each sweep's merged deterministic telemetry snapshot (see
+  ``docs/observability.md``) and whether serial and parallel agree,
 * the standard-form cache hit rate of the greedy run (warm-start
   validation primes the memo the backend then reuses).
 
@@ -31,6 +33,11 @@ from dataclasses import replace
 
 from repro.evaluation.experiments import Evaluation, EvaluationConfig
 from repro.mip import reset_standard_form_cache_stats, standard_form_cache_stats
+from repro.observability import (
+    MetricsRegistry,
+    deterministic_snapshot,
+    use_registry,
+)
 from repro.runtime.parallel import canonical_records
 
 
@@ -60,8 +67,10 @@ def build_config(args: argparse.Namespace) -> EvaluationConfig:
 
 def run_sweep(config: EvaluationConfig, workers: int) -> dict:
     evaluation = Evaluation(config=replace(config, workers=workers))
+    registry = MetricsRegistry()
     started = time.perf_counter()
-    evaluation.run_all()
+    with use_registry(registry):
+        evaluation.run_all()
     elapsed = time.perf_counter() - started
     records = (
         evaluation.access_records
@@ -74,6 +83,8 @@ def run_sweep(config: EvaluationConfig, workers: int) -> dict:
         "num_records": len(records),
         "total_solve_seconds": sum(r.runtime for r in records),
         "total_nodes_processed": sum(r.node_count for r in records),
+        # deterministic view only: no *_ms noise, comparable across runs
+        "merged_telemetry": deterministic_snapshot(registry.snapshot()),
         "records": records,
     }
 
@@ -113,6 +124,9 @@ def main(argv: list[str] | None = None) -> int:
     identical = canonical_records(serial.pop("records")) == canonical_records(
         parallel.pop("records")
     )
+    telemetry_identical = (
+        serial["merged_telemetry"] == parallel["merged_telemetry"]
+    )
     cache = greedy_cache_stats(config)
     stats = {
         "config": {
@@ -131,6 +145,7 @@ def main(argv: list[str] | None = None) -> int:
             else float("inf")
         ),
         "records_identical": identical,
+        "telemetry_identical": telemetry_identical,
         "greedy_standard_form_cache": cache,
     }
     with open(args.output, "w", encoding="utf-8") as fh:
@@ -139,11 +154,18 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"speedup vs serial: {stats['speedup_vs_serial']:.2f}x")
     print(f"records identical: {identical}")
+    print(f"telemetry identical: {telemetry_identical}")
     print(f"greedy cache hit rate: {cache['hit_rate']:.2f} "
           f"({cache['hits']} hits / {cache['misses']} misses)")
     print(f"wrote {args.output}")
     if not identical:
         print("FAIL: parallel record set differs from serial", file=sys.stderr)
+        return 1
+    if not telemetry_identical:
+        print(
+            "FAIL: merged telemetry differs between serial and parallel",
+            file=sys.stderr,
+        )
         return 1
     if cache["hits"] == 0:
         print("FAIL: standard-form cache never hit", file=sys.stderr)

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""CI smoke check for the observability layer.
+
+Runs a two-cell evaluation sweep twice — serial and with two worker
+processes — capturing solve traces and merged metrics for both, then
+asserts the full determinism contract:
+
+* every trace event validates against the published schema
+  (:mod:`repro.observability.schema`);
+* the serial and parallel trace files are **byte-identical**;
+* the merged deterministic metric snapshots are **equal**;
+* every record carries a ``telemetry`` block.
+
+Exit status: 0 on success, 1 on any contract violation — CI gates on
+it (see the ``telemetry-smoke`` job in ``.github/workflows/ci.yml``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_telemetry.py --workdir /tmp/telemetry
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import sys
+import tempfile
+from dataclasses import replace
+from pathlib import Path
+
+from repro.evaluation.experiments import Evaluation, EvaluationConfig
+from repro.observability import (
+    MetricsRegistry,
+    deterministic_snapshot,
+    use_registry,
+    validate_trace_file,
+)
+
+
+def tiny_config(workers: int = 1) -> EvaluationConfig:
+    return replace(
+        EvaluationConfig.quick(),
+        seeds=(0,),
+        flexibilities=(0.0, 1.0),
+        models=("csigma",),
+        num_requests=3,
+        time_limit=10.0,
+        workers=workers,
+    )
+
+
+def run_sweep(workers: int, trace_path: str):
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        evaluation = Evaluation(tiny_config(workers), trace_path=trace_path)
+        records = evaluation.run_access_control()
+    return records, deterministic_snapshot(registry.snapshot())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workdir", default=None, help="where to write the trace files"
+    )
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="telemetry-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    failures: list[str] = []
+
+    serial_trace = str(workdir / "serial.jsonl")
+    print("serial sweep (2 cells) ...", flush=True)
+    records_s, snap_s = run_sweep(1, serial_trace)
+    print(f"  {len(records_s)} records", flush=True)
+
+    problems = validate_trace_file(serial_trace)
+    if problems:
+        failures.append(f"serial trace schema violations: {problems[:5]}")
+    if not records_s:
+        failures.append("serial sweep produced no records")
+    for record in records_s:
+        if not record.telemetry or "solves" not in record.telemetry:
+            failures.append(f"record {record.scenario} missing telemetry block")
+            break
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        parallel_trace = str(workdir / "parallel.jsonl")
+        print("parallel sweep (2 workers) ...", flush=True)
+        records_p, snap_p = run_sweep(2, parallel_trace)
+        print(f"  {len(records_p)} records", flush=True)
+
+        if Path(serial_trace).read_bytes() != Path(parallel_trace).read_bytes():
+            failures.append("serial and parallel trace files differ")
+        if snap_s != snap_p:
+            failures.append(
+                "merged deterministic metrics differ between serial and "
+                f"parallel runs:\n  serial:   {snap_s['counters']}\n"
+                f"  parallel: {snap_p['counters']}"
+            )
+        if len(records_s) != len(records_p):
+            failures.append(
+                f"record counts differ: {len(records_s)} vs {len(records_p)}"
+            )
+    else:
+        print("fork start method unavailable — parallel identity not checked")
+
+    counters = snap_s["counters"]
+    print(f"merged counters: {counters}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("telemetry contract holds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

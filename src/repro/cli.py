@@ -90,6 +90,19 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--lp-out", default=None, help="also dump the LP file")
     solve.add_argument("--gantt", action="store_true",
                        help="print a schedule Gantt chart and utilization table")
+    solve.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a structured solve trace (JSONL, see "
+        "docs/observability.md) to PATH",
+    )
+    solve.add_argument(
+        "--metrics-summary",
+        action="store_true",
+        help="print the solve's metrics registry (deterministic metrics "
+        "first, *_ms timing after a blank line)",
+    )
 
     verify = sub.add_parser("verify", help="verify a solution file")
     verify.add_argument("instance")
@@ -125,6 +138,18 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--store", default=None,
                           help="JSON-lines record store (enables resume)")
     evaluate.add_argument("--output", default=None)
+    evaluate.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write per-cell solve traces (JSONL, serial cell order) to "
+        "PATH — identical for serial and parallel sweeps",
+    )
+    evaluate.add_argument(
+        "--metrics-summary",
+        action="store_true",
+        help="print the sweep's merged metrics registry after the figures",
+    )
 
     return parser
 
@@ -160,6 +185,22 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.observability import MetricsRegistry, SolveTrace, use_registry, use_trace
+
+    registry = MetricsRegistry()
+    trace = SolveTrace() if args.trace else None
+    with use_registry(registry), use_trace(trace):
+        code = _run_solve(args)
+    if args.trace:
+        count = trace.write(args.trace)
+        print(f"wrote {count} trace event(s) to {args.trace}")
+    if args.metrics_summary:
+        print()
+        print("\n".join(registry.summary_lines()))
+    return code
+
+
+def _run_solve(args: argparse.Namespace) -> int:
     from repro.tvnep import (
         CSigmaModel,
         DeltaModel,
@@ -310,9 +351,21 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         config = replace(config, fallback=False)
     if args.workers != 1:
         config = replace(config, workers=args.workers)
-    evaluation = Evaluation(config, store_path=args.store)
-    report = evaluation.render_all(charts=args.charts)
+
+    from repro.observability import MetricsRegistry, use_registry
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        evaluation = Evaluation(
+            config, store_path=args.store, trace_path=args.trace
+        )
+        report = evaluation.render_all(charts=args.charts)
     print(report)
+    if args.trace:
+        print(f"wrote trace events to {args.trace}")
+    if args.metrics_summary:
+        print()
+        print("\n".join(registry.summary_lines()))
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(report + "\n")

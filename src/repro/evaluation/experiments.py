@@ -73,6 +73,10 @@ class EvaluationConfig:
     #: produce the same record set as serial ones (modulo wall-clock
     #: ``runtime`` fields) — see :mod:`repro.runtime.parallel`.
     workers: int = 1
+    #: capture a structured :class:`~repro.observability.SolveTrace` per
+    #: cell (see docs/observability.md).  Usually enabled indirectly by
+    #: setting ``Evaluation.trace_path``.
+    capture_trace: bool = False
 
     def make_scenario(self, seed: int) -> Scenario:
         if self.scale == "paper":
@@ -118,6 +122,10 @@ class Evaluation:
 
     config: EvaluationConfig = field(default_factory=EvaluationConfig)
     store_path: str | None = None
+    #: when set, every freshly-computed cell's trace events are appended
+    #: here as canonical JSONL, in serial cell order (identical for
+    #: serial and parallel sweeps — see docs/observability.md)
+    trace_path: str | None = None
     #: access-control records of the exact formulations (Figs. 3/4/8/9)
     access_records: list[RunRecord] = field(default_factory=list)
     #: greedy records (Fig. 7)
@@ -180,16 +188,35 @@ class Evaluation:
 
     def _execute(self, cells) -> dict[int, RunRecord | None]:
         """Run pending sweep cells; maps cell index -> record (or None)."""
+        from dataclasses import replace as dc_replace
+
         from repro.runtime.parallel import CellContext, execute_cells
 
+        ctx = CellContext.from_config(self.config)
+        if self.trace_path is not None and not ctx.capture_trace:
+            ctx = dc_replace(ctx, capture_trace=True)
         results = execute_cells(
             cells,
-            CellContext.from_config(self.config),
+            ctx,
             workers=self.config.workers,
             budget=self._budget(),
             store_path=self.store_path,
         )
+        if self.trace_path is not None:
+            self._write_trace(results)
         return {result.index: result.record for result in results}
+
+    def _write_trace(self, results) -> None:
+        """Append the cells' trace events (serial index order) to the
+        trace file; the first write of this Evaluation truncates."""
+        from repro.observability import SolveTrace
+
+        trace = SolveTrace()
+        for result in results:  # already sorted by serial index
+            if result.trace_events:
+                trace.events.extend(result.trace_events)
+        trace.write(self.trace_path, append=getattr(self, "_trace_started", False))
+        self._trace_started = True
 
     def run_access_control(self, verbose: bool = False) -> list[RunRecord]:
         """Figures 3/4/8/9 sweep: every model on every scenario cell."""

@@ -80,6 +80,10 @@ class RunRecord:
     model_stats: dict = field(default_factory=dict)
     rung: str = ""
     error: str = ""
+    #: solver-effort summary for the cell (see
+    #: ``repro.observability.telemetry_block``); ``wall_ms`` is the only
+    #: non-deterministic part and is neutralized by ``canonical_record``
+    telemetry: dict = field(default_factory=dict)
 
     @property
     def solved(self) -> bool:

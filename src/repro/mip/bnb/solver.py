@@ -36,6 +36,7 @@ from repro.mip.highs_backend import _lp_data
 from repro.mip.model import Model, StandardForm
 from repro.mip.solution import Solution, SolveStatus
 from repro.mip.warm_start import coerce_assignment, validate_assignment
+from repro.observability import current_trace, get_registry
 
 __all__ = ["BranchAndBoundSolver", "solve"]
 
@@ -47,12 +48,19 @@ BNB_NAME = "bnb"
 class _LPOutcome:
     """Result of one node LP: internal-sense objective + point."""
 
-    __slots__ = ("status", "x", "internal_obj")
+    __slots__ = ("status", "x", "internal_obj", "iterations")
 
-    def __init__(self, status: str, x: np.ndarray | None, internal_obj: float):
+    def __init__(
+        self,
+        status: str,
+        x: np.ndarray | None,
+        internal_obj: float,
+        iterations: int = 0,
+    ):
         self.status = status  # "optimal" | "infeasible" | "unbounded" | "error"
         self.x = x
         self.internal_obj = internal_obj
+        self.iterations = iterations
 
 
 class BranchAndBoundSolver:
@@ -100,6 +108,7 @@ class BranchAndBoundSolver:
         node_limit: int | None = None,
         budget=None,
         warm_start=None,
+        trace=None,
     ) -> Solution:
         """Run branch-and-bound on ``model``.
 
@@ -114,9 +123,19 @@ class BranchAndBoundSolver:
         incumbent, so the search never returns anything worse and prunes
         at least as aggressively as a cold start.  An invalid warm start
         is rejected with a warning — never silently used.
+
+        ``trace`` is an optional
+        :class:`~repro.observability.trace.SolveTrace`; when omitted the
+        ambient :func:`~repro.observability.current_trace` (if any) is
+        used.  Counters and phase timers are always reported to the
+        active :class:`~repro.observability.metrics.MetricsRegistry`.
         """
+        trace = trace if trace is not None else current_trace()
+        metrics = get_registry()
         if budget is not None:
             if budget.expired:
+                if trace is not None:
+                    trace.emit("budget", state="exhausted", where="pre_solve")
                 return Solution(
                     status=SolveStatus.NO_SOLUTION,
                     solver=BNB_NAME,
@@ -124,6 +143,16 @@ class BranchAndBoundSolver:
                 )
             time_limit = budget.clamp(time_limit)
         form = model.to_standard_form()
+        metrics.inc("solver.solves")
+        lp_iters_before = metrics.counter("solver.lp_iterations")
+        if trace is not None:
+            trace.emit(
+                "solve_start",
+                solver=BNB_NAME,
+                num_vars=form.num_vars,
+                num_constraints=form.num_constraints,
+                num_integral=int(np.count_nonzero(form.integrality)),
+            )
         rule = (
             self._branching_spec
             if isinstance(self._branching_spec, BranchingRule)
@@ -151,36 +180,80 @@ class BranchAndBoundSolver:
                 incumbent_x = coerced
                 incumbent_internal = float(form.c @ coerced)
                 selection.notify_incumbent()
+                metrics.inc("warmstart.used")
+                if trace is not None:
+                    trace.emit(
+                        "warm_start",
+                        accepted=True,
+                        objective=form.user_objective(coerced),
+                    )
+                    trace.emit(
+                        "incumbent",
+                        objective=form.user_objective(coerced),
+                        source="warm_start",
+                    )
                 logger.debug(
                     "warm start accepted as incumbent (objective %s)",
                     form.user_objective(coerced),
                 )
             else:
+                metrics.inc("warmstart.rejected")
+                if trace is not None:
+                    trace.emit("warm_start", accepted=False, reason=reason)
                 logger.warning("rejecting invalid warm start: %s", reason)
         nodes_processed = 0
         hit_limit = False
+        limit_state: str | None = None
 
         root_lb, root_ub = form.lb, form.ub
         if self.presolve:
             from repro.mip.bnb.presolve import tighten_bounds
 
-            presolved = tighten_bounds(form, root_lb, root_ub)
+            with metrics.timer("phase.presolve"):
+                presolved = tighten_bounds(form, root_lb, root_ub)
+            if trace is not None:
+                tightened = int(
+                    np.count_nonzero(presolved.lb != root_lb)
+                    + np.count_nonzero(presolved.ub != root_ub)
+                ) if presolved.feasible else 0
+                trace.emit(
+                    "presolve",
+                    feasible=bool(presolved.feasible),
+                    tightened_bounds=tightened,
+                )
             if not presolved.feasible:
                 return self._finish(
                     form, incumbent_x, incumbent_internal, incumbent_internal,
                     start, 0, False,
+                    trace=trace, metrics=metrics,
+                    lp_iters_before=lp_iters_before,
                 )
             root_lb, root_ub = presolved.lb, presolved.ub
 
         root = BranchNode(lp_bound=-math.inf)
-        root_outcome = self._solve_lp(form, root_lb, root_ub)
+        with metrics.timer("phase.root_lp"):
+            root_outcome = self._solve_lp(form, root_lb, root_ub)
         nodes_processed += 1
+        if trace is not None:
+            payload = {"status": root_outcome.status}
+            if root_outcome.status == "optimal":
+                payload["bound"] = form.user_bound(root_outcome.internal_obj)
+            trace.emit("root_relaxation", **payload)
         if root_outcome.status == "infeasible":
             return self._finish(
                 form, incumbent_x, incumbent_internal, incumbent_internal,
                 start, nodes_processed, False,
+                trace=trace, metrics=metrics, lp_iters_before=lp_iters_before,
             )
         if root_outcome.status == "unbounded":
+            metrics.inc("solver.nodes", nodes_processed)
+            if trace is not None:
+                trace.emit(
+                    "solve_end",
+                    solver=BNB_NAME,
+                    status="unbounded",
+                    nodes=nodes_processed,
+                )
             return Solution(
                 status=SolveStatus.UNBOUNDED,
                 runtime=time.perf_counter() - start,
@@ -188,6 +261,14 @@ class BranchAndBoundSolver:
                 solver=BNB_NAME,
             )
         if root_outcome.status == "error":
+            metrics.inc("solver.nodes", nodes_processed)
+            if trace is not None:
+                trace.emit(
+                    "solve_end",
+                    solver=BNB_NAME,
+                    status="error",
+                    nodes=nodes_processed,
+                )
             return Solution(
                 status=SolveStatus.ERROR,
                 runtime=time.perf_counter() - start,
@@ -203,24 +284,40 @@ class BranchAndBoundSolver:
                 separate_cover_cuts,
             )
 
-            for _ in range(self.max_cut_rounds):
+            for cut_round in range(self.max_cut_rounds):
                 if root_outcome.x is None:
                     break
                 if fractional_columns(
                     root_outcome.x, form.integrality, self.integrality_tol
                 ).size == 0:
                     break
-                cuts = separate_cover_cuts(form, root_outcome.x)
+                with metrics.timer("phase.cuts"):
+                    cuts = separate_cover_cuts(form, root_outcome.x)
                 if not cuts:
                     break
+                metrics.inc("solver.cuts_added", len(cuts))
                 form = extend_form_with_cuts(form, cuts)
-                root_outcome = self._solve_lp(form, root_lb, root_ub)
+                with metrics.timer("phase.cuts"):
+                    root_outcome = self._solve_lp(form, root_lb, root_ub)
                 nodes_processed += 1
+                if trace is not None:
+                    payload = {
+                        "round": cut_round + 1,
+                        "cuts_added": len(cuts),
+                        "status": root_outcome.status,
+                    }
+                    if root_outcome.status == "optimal":
+                        payload["bound"] = form.user_bound(
+                            root_outcome.internal_obj
+                        )
+                    trace.emit("cut_round", **payload)
                 if root_outcome.status != "optimal":
                     break
             if root_outcome.status == "infeasible":
                 return self._finish(
-                    form, None, math.inf, math.inf, start, nodes_processed, False
+                    form, None, math.inf, math.inf, start, nodes_processed, False,
+                    trace=trace, metrics=metrics,
+                    lp_iters_before=lp_iters_before,
                 )
 
         root.lp_bound = root_outcome.internal_obj
@@ -235,16 +332,25 @@ class BranchAndBoundSolver:
                 if rounded[0] < incumbent_internal:
                     incumbent_internal, incumbent_x = rounded
                     selection.notify_incumbent()
+                    if trace is not None:
+                        trace.emit(
+                            "incumbent",
+                            objective=form.user_objective(incumbent_x),
+                            source="rounding",
+                        )
 
         # queue of (node, lp outcome) pairs whose relaxation is solved
         pending: list[tuple[BranchNode, _LPOutcome]] = [(root, root_outcome)]
 
+        search_tick = time.perf_counter()
         while pending or len(selection):
             if time.perf_counter() > deadline:
                 hit_limit = True
+                limit_state = "time_limit"
                 break
             if node_limit is not None and nodes_processed >= node_limit:
                 hit_limit = True
+                limit_state = "node_limit"
                 break
 
             if pending:
@@ -256,10 +362,25 @@ class BranchAndBoundSolver:
                 nodes_processed += 1
 
             if outcome.status != "optimal":
+                if trace is not None:
+                    trace.emit(
+                        "node",
+                        node=nodes_processed,
+                        status=outcome.status,
+                        depth=node.depth,
+                    )
                 continue  # infeasible subtree
             if outcome.internal_obj >= incumbent_internal - self._cutoff_slack(
                 incumbent_internal
             ):
+                if trace is not None:
+                    trace.emit(
+                        "node",
+                        node=nodes_processed,
+                        status="pruned",
+                        bound=form.user_bound(outcome.internal_obj),
+                        depth=node.depth,
+                    )
                 continue  # bound-dominated
 
             x = outcome.x
@@ -267,6 +388,15 @@ class BranchAndBoundSolver:
             fractional = fractional_columns(x, form.integrality, self.integrality_tol)
             if fractional.size == 0:
                 # integral solution: new incumbent
+                if trace is not None:
+                    trace.emit(
+                        "node",
+                        node=nodes_processed,
+                        status="integral",
+                        bound=form.user_bound(outcome.internal_obj),
+                        fractional=0,
+                        depth=node.depth,
+                    )
                 if outcome.internal_obj < incumbent_internal:
                     incumbent_internal = outcome.internal_obj
                     incumbent_x = x.copy()
@@ -274,7 +404,24 @@ class BranchAndBoundSolver:
                     selection.prune(
                         incumbent_internal - self._cutoff_slack(incumbent_internal)
                     )
+                    if trace is not None:
+                        trace.emit(
+                            "incumbent",
+                            objective=form.user_objective(incumbent_x),
+                            source="search",
+                            node=nodes_processed,
+                        )
                 continue
+
+            if trace is not None:
+                trace.emit(
+                    "node",
+                    node=nodes_processed,
+                    status="branched",
+                    bound=form.user_bound(outcome.internal_obj),
+                    fractional=int(fractional.size),
+                    depth=node.depth,
+                )
 
             branch_col = rule.select(x, form.integrality)
             value = x[branch_col]
@@ -296,6 +443,7 @@ class BranchAndBoundSolver:
             for direction, child in children:
                 if time.perf_counter() > deadline:
                     hit_limit = True
+                    limit_state = "time_limit"
                     selection.push(child)
                     continue
                 clb, cub = child.materialize_bounds(root_lb, root_ub)
@@ -330,6 +478,10 @@ class BranchAndBoundSolver:
                 frontier_open = False
                 break
 
+        metrics.add_ms("phase.search", (time.perf_counter() - search_tick) * 1000.0)
+        if trace is not None and limit_state is not None:
+            trace.emit("budget", state=limit_state, where="search")
+
         if not pending and len(selection) == 0:
             frontier_open = False
 
@@ -349,6 +501,9 @@ class BranchAndBoundSolver:
             start,
             nodes_processed,
             hit_limit or frontier_open,
+            trace=trace,
+            metrics=metrics,
+            lp_iters_before=lp_iters_before,
         )
 
     # ------------------------------------------------------------------
@@ -400,13 +555,17 @@ class BranchAndBoundSolver:
             bounds=np.column_stack([lb, ub]),
             method="highs",
         )
+        iterations = int(getattr(res, "nit", 0) or 0)
+        get_registry().inc("solver.lp_iterations", iterations)
         if res.status == 0:
-            return _LPOutcome("optimal", np.asarray(res.x, dtype=float), float(res.fun))
+            return _LPOutcome(
+                "optimal", np.asarray(res.x, dtype=float), float(res.fun), iterations
+            )
         if res.status == 2:
-            return _LPOutcome("infeasible", None, math.inf)
+            return _LPOutcome("infeasible", None, math.inf, iterations)
         if res.status == 3:
-            return _LPOutcome("unbounded", None, -math.inf)
-        return _LPOutcome("error", None, math.nan)
+            return _LPOutcome("unbounded", None, -math.inf, iterations)
+        return _LPOutcome("error", None, math.nan, iterations)
 
     def _finish(
         self,
@@ -417,11 +576,17 @@ class BranchAndBoundSolver:
         start: float,
         nodes: int,
         interrupted: bool,
+        trace=None,
+        metrics=None,
+        lp_iters_before: float = 0.0,
     ) -> Solution:
         runtime = time.perf_counter() - start
+        if metrics is not None:
+            metrics.inc("solver.nodes", nodes)
+            metrics.add_ms("phase.solve", runtime * 1000.0)
         if incumbent_x is None:
             status = SolveStatus.NO_SOLUTION if interrupted else SolveStatus.INFEASIBLE
-            return Solution(
+            solution = Solution(
                 status=status,
                 runtime=runtime,
                 node_count=nodes,
@@ -432,25 +597,44 @@ class BranchAndBoundSolver:
                     else math.nan
                 ),
             )
-        values = {var: float(incumbent_x[i]) for i, var in enumerate(form.variables)}
-        objective = form.user_objective(incumbent_x)
-        user_bound = (
-            form.user_bound(bound_internal)
-            if math.isfinite(bound_internal)
-            else objective
-        )
-        status = SolveStatus.FEASIBLE if interrupted else SolveStatus.OPTIMAL
-        if status is SolveStatus.OPTIMAL:
-            user_bound = objective
-        return Solution(
-            status=status,
-            objective=objective,
-            values=values,
-            best_bound=user_bound,
-            runtime=runtime,
-            node_count=nodes,
-            solver=BNB_NAME,
-        )
+        else:
+            values = {
+                var: float(incumbent_x[i]) for i, var in enumerate(form.variables)
+            }
+            objective = form.user_objective(incumbent_x)
+            user_bound = (
+                form.user_bound(bound_internal)
+                if math.isfinite(bound_internal)
+                else objective
+            )
+            status = SolveStatus.FEASIBLE if interrupted else SolveStatus.OPTIMAL
+            if status is SolveStatus.OPTIMAL:
+                user_bound = objective
+            solution = Solution(
+                status=status,
+                objective=objective,
+                values=values,
+                best_bound=user_bound,
+                runtime=runtime,
+                node_count=nodes,
+                solver=BNB_NAME,
+            )
+        if trace is not None:
+            payload = {
+                "solver": BNB_NAME,
+                "status": solution.status.value,
+                "nodes": nodes,
+            }
+            if solution.objective is not None:
+                payload["objective"] = solution.objective
+            if solution.best_bound is not None:
+                payload["bound"] = solution.best_bound
+            if metrics is not None:
+                payload["lp_iterations"] = int(
+                    metrics.counter("solver.lp_iterations") - lp_iters_before
+                )
+            trace.emit("solve_end", **payload)
+        return solution
 
 
 def solve(
@@ -462,6 +646,7 @@ def solve(
     node_selection: str = "hybrid",
     budget=None,
     warm_start=None,
+    trace=None,
 ) -> Solution:
     """Convenience wrapper around :class:`BranchAndBoundSolver`."""
     solver = BranchAndBoundSolver(
@@ -473,4 +658,5 @@ def solve(
         node_limit=node_limit,
         budget=budget,
         warm_start=warm_start,
+        trace=trace,
     )

@@ -22,6 +22,7 @@ from scipy.optimize import Bounds, LinearConstraint, linprog, milp
 from repro.exceptions import SolverError
 from repro.mip.model import Model, StandardForm
 from repro.mip.solution import Solution, SolveStatus
+from repro.observability import current_trace, get_registry
 
 __all__ = ["solve", "solve_relaxation", "HIGHS_NAME"]
 
@@ -80,6 +81,9 @@ def solve(
     """
     if budget is not None:
         if budget.expired:
+            trace = current_trace()
+            if trace is not None:
+                trace.emit("budget", state="exhausted", where="pre_solve")
             return Solution(
                 status=SolveStatus.NO_SOLUTION,
                 solver=HIGHS_NAME,
@@ -104,9 +108,29 @@ def solve_standard_form(
     presolve: bool = True,
 ) -> Solution:
     """Solve an already-compiled :class:`StandardForm` with HiGHS."""
+    trace = current_trace()
+    metrics = get_registry()
+    metrics.inc("solver.solves")
+    if trace is not None:
+        trace.emit(
+            "solve_start",
+            solver=HIGHS_NAME,
+            num_vars=form.num_vars,
+            num_constraints=form.num_constraints,
+            num_integral=int(np.count_nonzero(form.integrality)),
+        )
     if form.num_vars == 0:
         # a model without variables is trivially optimal (the modeling
         # layer already rejected any violated constant constraint)
+        if trace is not None:
+            trace.emit(
+                "solve_end",
+                solver=HIGHS_NAME,
+                status=SolveStatus.OPTIMAL.value,
+                nodes=0,
+                objective=form.c0,
+                bound=form.c0,
+            )
         return Solution(
             status=SolveStatus.OPTIMAL,
             objective=form.c0,
@@ -155,6 +179,17 @@ def solve_standard_form(
         best_bound = objective
 
     node_count = int(getattr(res, "mip_node_count", 0) or 0)
+    metrics.inc("solver.nodes", node_count)
+    metrics.add_ms("phase.solve", runtime * 1000.0)
+    if trace is not None:
+        trace.emit(
+            "solve_end",
+            solver=HIGHS_NAME,
+            status=status.value,
+            nodes=node_count,
+            objective=objective,
+            bound=best_bound,
+        )
     return Solution(
         status=status,
         objective=objective,
@@ -212,6 +247,9 @@ def solve_relaxation_arrays(
         method="highs",
     )
     runtime = time.perf_counter() - start
+    metrics = get_registry()
+    metrics.inc("solver.lp_iterations", int(getattr(res, "nit", 0) or 0))
+    metrics.add_ms("phase.lp", runtime * 1000.0)
 
     if res.status == 0:
         x = np.asarray(res.x, dtype=float)

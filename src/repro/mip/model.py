@@ -24,6 +24,7 @@ import scipy.sparse as sp
 from repro.exceptions import ModelingError
 from repro.mip.constraint import Constraint, Sense
 from repro.mip.expr import ExprLike, LinExpr, Variable, VarType, as_expr
+from repro.observability.metrics import get_registry
 
 __all__ = [
     "ObjectiveSense",
@@ -33,20 +34,28 @@ __all__ = [
     "reset_standard_form_cache_stats",
 ]
 
-#: process-wide compilation counters; the benchmark harness reads these
-#: to report the standard-form cache hit rate of a run.
-_CACHE_STATS = {"hits": 0, "misses": 0}
+#: registry counter names for ``to_standard_form`` memoization.  The
+#: counters live on the *active* metrics registry
+#: (:func:`repro.observability.get_registry`), so tests and sweep cells
+#: scope them with ``use_registry`` instead of sharing a process global.
+_CACHE_HITS = "cache.standard_form_hits"
+_CACHE_MISSES = "cache.standard_form_misses"
 
 
 def standard_form_cache_stats() -> dict[str, float]:
-    """Process-wide ``to_standard_form`` memoization counters.
+    """``to_standard_form`` memoization counters of the active registry.
 
     Returns ``{"hits": int, "misses": int, "hit_rate": float}`` where
     ``hit_rate`` is ``hits / (hits + misses)`` (0.0 when nothing was
     compiled yet).  A *miss* is a full COO→CSR assembly; a *hit* returns
-    the memoized :class:`StandardForm` of an unmutated model.
+    the memoized :class:`StandardForm` of an unmutated model.  Counters
+    are per-registry: wrap work in
+    ``repro.observability.use_registry(MetricsRegistry())`` to measure
+    (or isolate) one unit of work.
     """
-    hits, misses = _CACHE_STATS["hits"], _CACHE_STATS["misses"]
+    registry = get_registry()
+    hits = int(registry.counter(_CACHE_HITS))
+    misses = int(registry.counter(_CACHE_MISSES))
     total = hits + misses
     return {
         "hits": hits,
@@ -56,9 +65,10 @@ def standard_form_cache_stats() -> dict[str, float]:
 
 
 def reset_standard_form_cache_stats() -> None:
-    """Zero the process-wide cache counters (benchmark bookkeeping)."""
-    _CACHE_STATS["hits"] = 0
-    _CACHE_STATS["misses"] = 0
+    """Zero the active registry's cache counters (benchmark bookkeeping)."""
+    registry = get_registry()
+    registry.inc(_CACHE_HITS, -registry.counter(_CACHE_HITS))
+    registry.inc(_CACHE_MISSES, -registry.counter(_CACHE_MISSES))
 
 
 class ObjectiveSense(enum.Enum):
@@ -313,9 +323,9 @@ class Model:
             self._form_cache is not None
             and self._form_cache_version == self._mutation_version
         ):
-            _CACHE_STATS["hits"] += 1
+            get_registry().inc(_CACHE_HITS)
             return self._form_cache
-        _CACHE_STATS["misses"] += 1
+        get_registry().inc(_CACHE_MISSES)
         form = self._compile_standard_form()
         self._form_cache = form
         self._form_cache_version = self._mutation_version

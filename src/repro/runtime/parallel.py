@@ -91,6 +91,7 @@ class CellContext:
     backend: str
     fallback: bool
     load_fraction: float
+    capture_trace: bool = False
 
     @classmethod
     def from_config(cls, config) -> "CellContext":
@@ -101,16 +102,26 @@ class CellContext:
             backend=config.backend,
             fallback=config.fallback,
             load_fraction=config.load_fraction,
+            capture_trace=getattr(config, "capture_trace", False),
         )
 
 
 @dataclass
 class CellResult:
-    """Outcome of one cell; ``skipped`` marks budget-starved cells."""
+    """Outcome of one cell; ``skipped`` marks budget-starved cells.
+
+    ``metrics`` is the cell's scoped registry snapshot (merged into the
+    parent's registry by :func:`execute_cells` — commutatively, so a
+    parallel run merges to the same totals as a serial one);
+    ``trace_events`` are the cell's :class:`SolveTrace` events when the
+    context asked for ``capture_trace`` (plain dicts, pool-picklable).
+    """
 
     index: int
     record: object | None  # RunRecord | None
     skipped: bool = False
+    metrics: dict | None = None
+    trace_events: list | None = None
 
 
 def _make_scenario(ctx: CellContext, cell: SweepCell):
@@ -134,14 +145,61 @@ def run_cell(cell: SweepCell, ctx: CellContext, budget: SolveBudget | None = Non
     becomes an explicit ``status="error"`` record, and solved
     access-control cells carry their embedded request names in
     ``model_stats`` for the fixed-objective phase.
+
+    The cell's scoped metrics snapshot is folded into the *ambient*
+    registry, so direct callers keep accumulating process totals.
     """
-    from repro.evaluation.runner import error_record, run_exact, run_greedy
-    from repro.exceptions import ReproError
+    from repro.observability import get_registry
+
+    result = _run_cell_result(cell, ctx, budget)
+    if result.metrics is not None:
+        get_registry().merge(result.metrics)
+    return result.record
+
+
+def _run_cell_result(
+    cell: SweepCell, ctx: CellContext, budget: SolveBudget | None = None
+) -> CellResult:
+    """Solve one cell under a fresh registry (and trace, when asked).
+
+    The cell's telemetry is computed from a registry scoped to exactly
+    this cell, so it is identical whether the cell ran serially or on a
+    worker — the foundation of the serial/parallel telemetry-identity
+    contract.  The snapshot is *returned*, not merged; the caller
+    decides which registry it folds into.
+    """
+    from repro.observability import (
+        MetricsRegistry,
+        SolveTrace,
+        telemetry_block,
+        use_registry,
+        use_trace,
+    )
 
     if budget is not None and budget.expired:
         logger.warning("sweep budget exhausted; skipping %s", cell.label)
-        return None
+        return CellResult(index=cell.index, record=None, skipped=True)
     scenario = _make_scenario(ctx, cell)
+    registry = MetricsRegistry()
+    trace = SolveTrace(context={"cell": cell.label}) if ctx.capture_trace else None
+    with use_registry(registry), use_trace(trace):
+        record = _solve_cell(cell, ctx, budget, scenario)
+    snapshot = registry.snapshot()
+    if record is not None:
+        record.telemetry = telemetry_block(snapshot)
+    return CellResult(
+        index=cell.index,
+        record=record,
+        skipped=record is None,
+        metrics=snapshot,
+        trace_events=list(trace.events) if trace is not None else None,
+    )
+
+
+def _solve_cell(cell: SweepCell, ctx: CellContext, budget, scenario):
+    from repro.evaluation.runner import error_record, run_exact, run_greedy
+    from repro.exceptions import ReproError
+
     try:
         if cell.phase == "greedy":
             record, _ = run_greedy(
@@ -198,12 +256,10 @@ def _run_cell_batch(payload):
     budget = SolveBudget(budget_seconds) if budget_seconds is not None else None
     results = []
     for cell in cells:
-        record = run_cell(cell, ctx, budget)
-        if record is not None and shard is not None:
-            append_record(record, shard)
-        results.append(
-            CellResult(index=cell.index, record=record, skipped=record is None)
-        )
+        result = _run_cell_result(cell, ctx, budget)
+        if result.record is not None and shard is not None:
+            append_record(result.record, shard)
+        results.append(result)
     return results
 
 
@@ -234,11 +290,9 @@ def execute_cells(
     if not cells:
         return []
     if workers <= 1 or len(cells) == 1:
-        return [
-            CellResult(index=cell.index, record=record, skipped=record is None)
-            for cell in cells
-            for record in (run_cell(cell, ctx, budget),)
-        ]
+        return _merge_results(
+            [_run_cell_result(cell, ctx, budget) for cell in cells]
+        )
 
     from repro.evaluation.persistence import shard_path
 
@@ -274,6 +328,22 @@ def execute_cells(
             path = shard_path(store_path, k)
             if os.path.exists(path):
                 os.remove(path)
+    return _merge_results(results)
+
+
+def _merge_results(results: list[CellResult]) -> list[CellResult]:
+    """Fold per-cell metrics snapshots into the ambient registry.
+
+    Results arrive sorted by serial index and counter/histogram merging
+    is commutative, so the merged totals are identical for serial and
+    parallel execution of the same cells.
+    """
+    from repro.observability import get_registry
+
+    registry = get_registry()
+    for result in results:
+        if result.metrics is not None:
+            registry.merge(result.metrics)
     return results
 
 
@@ -292,6 +362,9 @@ def canonical_record(record) -> dict:
     """
     payload = asdict(record)
     payload["runtime"] = 0.0
+    telemetry = payload.get("telemetry")
+    if isinstance(telemetry, dict) and "wall_ms" in telemetry:
+        telemetry["wall_ms"] = {}  # wall-clock, like runtime
     for key in ("objective", "gap"):
         value = payload[key]
         if isinstance(value, float) and not math.isfinite(value):

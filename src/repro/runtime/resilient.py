@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.mip.solution import Solution, SolveStatus
+from repro.observability import current_trace, get_registry
 from repro.runtime.backends import Backend, get_backend
 from repro.runtime.budget import SolveBudget
 
@@ -195,6 +196,16 @@ class ResilientBackend:
         kwargs: dict,
     ) -> Solution | None:
         """Attempt one rung (with retries); ``None`` means move on."""
+        trace = current_trace()
+        metrics = get_registry()
+
+        def note(attempt: int, status: str) -> None:
+            metrics.inc("fallback.attempts")
+            if trace is not None:
+                trace.emit(
+                    "fallback", rung=rung.name, attempt=attempt, status=status
+                )
+
         for attempt in range(1, rung.retries + 2):
             limit = budget.clamp(time_limit) if budget is not None else time_limit
             if budget is not None and budget.expired:
@@ -204,6 +215,11 @@ class ResilientBackend:
                 self.attempts.append(
                     Attempt(rung.name, attempt, "budget_exhausted", 0.0)
                 )
+                note(attempt, "budget_exhausted")
+                if trace is not None:
+                    trace.emit(
+                        "budget", state="exhausted", where=f"rung:{rung.name}"
+                    )
                 return None
             if limit is not None:
                 limit = max(float(limit), self.min_time_limit)
@@ -221,6 +237,7 @@ class ResilientBackend:
                 self.attempts.append(
                     Attempt(rung.name, attempt, "exception", wall, str(exc))
                 )
+                note(attempt, "exception")
                 logger.warning(
                     "solve attempt failed rung=%s backend=%s attempt=%d "
                     "wall=%.3fs error=%s",
@@ -239,6 +256,7 @@ class ResilientBackend:
                     rung.name, attempt, solution.status.value, wall, solution.message
                 )
             )
+            metrics.add_ms(f"phase.rung.{rung.name}", wall * 1000.0)
             logger.info(
                 "solve attempt rung=%s attempt=%d status=%s wall=%.3fs "
                 "objective=%s nodes=%d",
@@ -251,6 +269,7 @@ class ResilientBackend:
             )
 
             if solution.status in _CONCLUSIVE:
+                note(attempt, solution.status.value)
                 solution.rung = rung.name
                 return solution
             if solution.has_solution:
@@ -262,16 +281,20 @@ class ResilientBackend:
                         attempt,
                     )
                     self.attempts[-1].status = "corrupt"
+                    note(attempt, "corrupt")
                     self._backoff(rung, attempt, budget)
                     continue
+                note(attempt, solution.status.value)
                 solution.rung = rung.name
                 return solution
             if solution.status is SolveStatus.NO_SOLUTION:
                 # a timeout without incumbent won't improve by retrying
                 # the same backend; hand the chain to the next rung
+                note(attempt, solution.status.value)
                 solution.rung = rung.name
                 return solution
             # SolveStatus.ERROR: retry, then fall through
+            note(attempt, solution.status.value)
             self._backoff(rung, attempt, budget)
         return None
 

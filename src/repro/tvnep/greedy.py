@@ -37,6 +37,7 @@ from repro.mip.model import ObjectiveSense
 from repro.mip.solution import Solution
 from repro.network.request import Request
 from repro.network.substrate import SubstrateNetwork
+from repro.observability.metrics import get_registry
 from repro.runtime.budget import SolveBudget
 from repro.tvnep.base import ModelOptions
 from repro.tvnep.csigma_model import CSigmaModel
@@ -198,9 +199,11 @@ def greedy_csigma(
             request.earliest_start + request.duration,
         )
         rejected.append(request.name)
+        get_registry().inc("greedy.rejected")
 
     for position, request in enumerate(order):
         current[request.name] = request
+        get_registry().inc("greedy.iterations")
         if budget is not None and budget.expired:
             # out of wall-clock: conservatively reject the tail instead
             # of blowing past the deadline
@@ -274,6 +277,7 @@ def greedy_csigma(
             # pin the window to the chosen schedule
             current[request.name] = request.with_schedule(start, end)
             accepted.append(request.name)
+            get_registry().inc("greedy.accepted")
         else:
             reject(request)
 

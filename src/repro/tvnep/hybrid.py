@@ -33,6 +33,7 @@ from repro.exceptions import ModelingError, SolverError, ValidationError
 from repro.mip.model import ObjectiveSense
 from repro.network.request import Request
 from repro.network.substrate import SubstrateNetwork
+from repro.observability.metrics import get_registry
 from repro.runtime.budget import SolveBudget
 from repro.tvnep.base import ModelOptions
 from repro.tvnep.csigma_model import CSigmaModel
@@ -165,6 +166,7 @@ def hybrid_heavy_hitters(
     greedy_runtimes: list[float] = []
     for position, request in enumerate(small):
         current[request.name] = request
+        get_registry().inc("hybrid.insertions")
 
         def _reject() -> None:
             current[request.name] = request.with_schedule(
@@ -172,6 +174,7 @@ def hybrid_heavy_hitters(
                 request.earliest_start + request.duration,
             )
             rejected.append(request.name)
+            get_registry().inc("hybrid.rejected")
 
         if budget is not None and budget.expired:
             logger.warning(
@@ -226,6 +229,7 @@ def hybrid_heavy_hitters(
             end = raw.value(model.t_end[request.name])
             current[request.name] = request.with_schedule(start, end)
             accepted.append(request.name)
+            get_registry().inc("hybrid.accepted")
         else:
             _reject()
 

@@ -199,20 +199,27 @@ def validated_warm_start(
     hit instead of a second assembly).
     """
     from repro.mip.warm_start import coerce_assignment, validate_assignment
+    from repro.observability import get_registry
 
+    metrics = get_registry()
     try:
         assignment = schedule_warm_start(model, schedule, flow_values)
     except Exception:
         logger.debug("warm-start construction failed", exc_info=True)
+        metrics.inc("warmstart.discarded")
         return None
     if assignment is None:
+        metrics.inc("warmstart.discarded")
         return None
     form = model.model.to_standard_form()
     x = coerce_assignment(form, assignment)
     if x is None:
+        metrics.inc("warmstart.discarded")
         return None
     reason = validate_assignment(form, x)
     if reason is not None:
         logger.debug("warm start dropped as infeasible: %s", reason)
+        metrics.inc("warmstart.discarded")
         return None
+    metrics.inc("warmstart.validated")
     return x

@@ -7,17 +7,18 @@ import pytest
 from repro.mip import (
     Model,
     ObjectiveSense,
-    reset_standard_form_cache_stats,
     solve_highs,
     standard_form_cache_stats,
 )
+from repro.observability import MetricsRegistry, use_registry
 
 
 @pytest.fixture(autouse=True)
-def fresh_stats():
-    reset_standard_form_cache_stats()
-    yield
-    reset_standard_form_cache_stats()
+def fresh_registry():
+    # cache stats live on the active metrics registry; scoping a fresh
+    # one isolates this module from (and hides it from) every other test
+    with use_registry(MetricsRegistry()):
+        yield
 
 
 def small_model():

@@ -20,6 +20,7 @@ from repro.mip import (
     solve_bnb,
 )
 from repro.mip.warm_start import coerce_assignment, validate_assignment
+from repro.observability import MetricsRegistry, SolveTrace, use_registry, use_trace
 
 
 def knapsack(weights, profits, capacity):
@@ -149,3 +150,51 @@ class TestBnbWarmStart:
         m.add_constr(x <= 0.6)
         sol = solve_bnb(m, warm_start={x: 1.0})
         assert sol.status is SolveStatus.INFEASIBLE
+
+
+class TestWarmStartTelemetry:
+    """The solve trace states *whether* and *why* a warm start was used."""
+
+    def _traced_solve(self, model, **kwargs):
+        registry, trace = MetricsRegistry(), SolveTrace()
+        with use_registry(registry), use_trace(trace):
+            solution = solve_bnb(model, **kwargs)
+        return solution, registry, trace
+
+    def test_accepted_warm_start_reported_in_trace(self):
+        m, _ = knapsack([2, 3, 4, 5, 7], [3, 4, 5, 6, 9], 9)
+        cold, cold_reg, cold_trace = self._traced_solve(m)
+        warm, warm_reg, warm_trace = self._traced_solve(
+            m, warm_start=cold.values
+        )
+        event = warm_trace.last("warm_start")
+        assert event is not None and event["accepted"] is True
+        assert event["objective"] == pytest.approx(cold.objective)
+        assert warm_reg.counter("warmstart.used") == 1
+        assert warm_reg.counter("warmstart.rejected") == 0
+        # the incumbent seeded from the warm start is on record too
+        sources = [e["source"] for e in warm_trace.select("incumbent")]
+        assert sources[0] == "warm_start"
+        # cold solves say nothing about warm starts
+        assert cold_trace.last("warm_start") is None
+        assert cold_reg.counter("warmstart.used") == 0
+
+    def test_warm_solve_reports_no_more_nodes_than_cold(self):
+        m, _ = knapsack([2, 3, 4, 5, 7], [3, 4, 5, 6, 9], 12)
+        cold, _, cold_trace = self._traced_solve(m)
+        _, _, warm_trace = self._traced_solve(m, warm_start=cold.values)
+        cold_nodes = cold_trace.last("solve_end")["nodes"]
+        warm_nodes = warm_trace.last("solve_end")["nodes"]
+        assert warm_nodes <= cold_nodes
+
+    def test_rejected_warm_start_reported_with_reason(self, caplog):
+        m, xs = knapsack([2, 3, 4], [3, 4, 5], 5)
+        with caplog.at_level(logging.WARNING, logger="repro.runtime"):
+            _, registry, trace = self._traced_solve(
+                m, warm_start={x: 1.0 for x in xs}
+            )
+        event = trace.last("warm_start")
+        assert event is not None and event["accepted"] is False
+        assert event["reason"]
+        assert registry.counter("warmstart.rejected") == 1
+        assert registry.counter("warmstart.used") == 0

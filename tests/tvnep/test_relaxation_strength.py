@@ -1,0 +1,128 @@
+"""Relaxation-strength regression (Theorem 2) via root-LP telemetry.
+
+Theorem 2 of the paper: the LP relaxations of the Σ- and cΣ-Model are
+at least as strong as the Δ-Model's — the big-M state-change encoding
+can only *weaken* the root bound, never tighten it.  Under the
+maximization sense used throughout, "at least as strong" means the
+Σ/cΣ root upper bound is never larger than the Δ one.
+
+The bounds are read from the ``root_relaxation`` trace event that the
+pure-Python branch-and-bound emits, with presolve off and a one-node
+limit so nothing but the raw LP relaxation contributes.  All three
+models are built with :meth:`ModelOptions.plain` — the paper's baseline
+formulations, no strengthening cuts — because that is the object the
+theorem speaks about.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mip.bnb.solver import BranchAndBoundSolver
+from repro.network import Request, SubstrateNetwork, TemporalSpec, VirtualNetwork
+from repro.observability import MetricsRegistry, SolveTrace, use_registry, use_trace
+from repro.tvnep import CSigmaModel, DeltaModel, ModelOptions, SigmaModel
+from repro.workloads import small_scenario
+
+TOL = 1e-6
+
+
+def _unit_request(name, t_s, t_e, d, demand=1.0):
+    v = VirtualNetwork(name)
+    v.add_node("v", demand)
+    return Request(v, TemporalSpec(t_s, t_e, d))
+
+
+def _single_node_corpus():
+    sub = SubstrateNetwork()
+    sub.add_node("s", 1.0)
+    yield "contention-2x", sub, [
+        _unit_request("R1", 0, 3, 2),
+        _unit_request("R2", 0, 3, 2),
+    ], None
+    yield "contention-3x", sub, [
+        _unit_request("R1", 0, 4, 2),
+        _unit_request("R2", 0, 4, 2),
+        _unit_request("R3", 0, 4, 2),
+    ], None
+    yield "tight-windows", sub, [
+        _unit_request("R1", 0, 2, 2),
+        _unit_request("R2", 0, 2, 2),
+    ], None
+    yield "fractional-demand", sub, [
+        _unit_request("R1", 0, 2, 2, 0.6),
+        _unit_request("R2", 0, 2, 2, 0.6),
+    ], None
+
+
+def _generated_corpus():
+    for seed in (0, 1, 5):
+        for flexibility in (0.0, 1.0):
+            scenario = small_scenario(seed, num_requests=3).with_flexibility(
+                flexibility
+            )
+            yield (
+                f"seed={seed} flex={flexibility}",
+                scenario.substrate,
+                scenario.requests,
+                scenario.node_mappings,
+            )
+
+
+CORPUS = list(_single_node_corpus()) + list(_generated_corpus())
+
+
+def _root_bound(model_cls, substrate, requests, mappings):
+    """The pure root-LP upper bound, read from the trace event."""
+    model = model_cls(
+        substrate,
+        requests,
+        fixed_mappings=mappings,
+        options=ModelOptions.plain(),
+    )
+    trace = SolveTrace()
+    with use_registry(MetricsRegistry()), use_trace(trace):
+        BranchAndBoundSolver(presolve=False).solve(model.model, node_limit=1)
+    event = trace.last("root_relaxation")
+    assert event is not None, f"{model_cls.__name__}: no root_relaxation event"
+    assert event["status"] == "optimal", f"{model_cls.__name__}: {event}"
+    return event["bound"]
+
+
+@pytest.mark.parametrize(
+    "label,substrate,requests,mappings",
+    CORPUS,
+    ids=[label for label, *_ in CORPUS],
+)
+def test_sigma_family_root_bound_never_weaker_than_delta(
+    label, substrate, requests, mappings
+):
+    delta = _root_bound(DeltaModel, substrate, requests, mappings)
+    sigma = _root_bound(SigmaModel, substrate, requests, mappings)
+    csigma = _root_bound(CSigmaModel, substrate, requests, mappings)
+    # maximization: a *smaller* upper bound is the stronger relaxation
+    assert sigma <= delta + TOL, f"{label}: sigma {sigma} > delta {delta}"
+    assert csigma <= delta + TOL, f"{label}: csigma {csigma} > delta {delta}"
+
+
+@pytest.mark.parametrize(
+    "label,substrate,requests,mappings",
+    CORPUS[:4],
+    ids=[label for label, *_ in CORPUS[:4]],
+)
+def test_root_bound_is_a_valid_upper_bound(label, substrate, requests, mappings):
+    """Sanity anchor: every root bound dominates the integer optimum."""
+    optimum = None
+    for cls in (DeltaModel, SigmaModel, CSigmaModel):
+        bound = _root_bound(cls, substrate, requests, mappings)
+        if optimum is None:
+            model = cls(
+                substrate,
+                requests,
+                fixed_mappings=mappings,
+                options=ModelOptions.plain(),
+            )
+            optimum = model.solve(time_limit=30, presolve=False).objective
+        assert bound >= optimum - TOL, (
+            f"{label} {cls.__name__}: root bound {bound} below optimum {optimum}"
+        )

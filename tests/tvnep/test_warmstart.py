@@ -5,11 +5,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.mip import (
-    reset_standard_form_cache_stats,
-    solve_bnb,
-    standard_form_cache_stats,
-)
+from repro.mip import solve_bnb, standard_form_cache_stats
+from repro.observability import MetricsRegistry, SolveTrace, use_registry, use_trace
 from repro.tvnep import CSigmaModel, greedy_csigma
 from repro.tvnep.greedy import _link_flow_values
 from repro.tvnep.warmstart import schedule_warm_start, validated_warm_start
@@ -17,10 +14,11 @@ from repro.workloads import small_scenario
 
 
 @pytest.fixture(autouse=True)
-def fresh_stats():
-    reset_standard_form_cache_stats()
-    yield
-    reset_standard_form_cache_stats()
+def fresh_registry():
+    # a scoped registry isolates cache stats (and all other counters)
+    # from other tests — nothing to reset, nothing leaks out
+    with use_registry(MetricsRegistry()) as registry:
+        yield registry
 
 
 def scenario_and_model(seed=0, num_requests=3, flexibility=1.0):
@@ -55,7 +53,9 @@ def solution_schedule(scenario, solution):
 
 
 class TestScheduleWarmStart:
-    def test_optimal_schedule_validates_and_matches_cold_solve(self):
+    def test_optimal_schedule_validates_and_matches_cold_solve(
+        self, fresh_registry
+    ):
         scenario, model = scenario_and_model()
         raw = model.solve_raw(backend="highs")
         solution = model.extract(raw)
@@ -65,21 +65,36 @@ class TestScheduleWarmStart:
             model, solution_schedule(scenario, solution), _link_flow_values(raw)
         )
         assert warm is not None
+        assert fresh_registry.counter("warmstart.validated") == 1
+        assert fresh_registry.counter("warmstart.discarded") == 0
 
-        cold = solve_bnb(model.model)
-        warmed = solve_bnb(model.model, warm_start=warm)
+        cold_trace, warm_trace = SolveTrace(), SolveTrace()
+        with use_trace(cold_trace):
+            cold = solve_bnb(model.model)
+        with use_trace(warm_trace):
+            warmed = solve_bnb(model.model, warm_start=warm)
         assert warmed.objective == pytest.approx(cold.objective)
         assert warmed.node_count <= cold.node_count
+        # the trace agrees with the solution on both counts
+        event = warm_trace.last("warm_start")
+        assert event is not None and event["accepted"] is True
+        assert fresh_registry.counter("warmstart.used") == 1
+        assert (
+            warm_trace.last("solve_end")["nodes"]
+            <= cold_trace.last("solve_end")["nodes"]
+        )
 
     def test_incomplete_schedule_returns_none(self):
         _, model = scenario_and_model()
         assert schedule_warm_start(model, {}) is None
         assert validated_warm_start(model, {}) is None
 
-    def test_garbage_schedule_never_raises(self):
+    def test_garbage_schedule_never_raises(self, fresh_registry):
         scenario, model = scenario_and_model()
         schedule = {r.name: (True, -1e9, 1e9) for r in scenario.requests}
         assert validated_warm_start(model, schedule) is None
+        assert fresh_registry.counter("warmstart.discarded") == 1
+        assert fresh_registry.counter("warmstart.validated") == 0
 
 
 class TestGreedyCacheWins:
