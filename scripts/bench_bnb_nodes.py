@@ -1,0 +1,273 @@
+#!/usr/bin/env python
+"""Benchmark branch-and-bound node throughput across LP engines.
+
+Solves one fixed-seed cSigma instance with the pure-Python
+branch-and-bound solver under three LP engines and writes a
+machine-readable summary (``BENCH_bnb.json``):
+
+* ``legacy`` — the pre-session baseline: a fresh ``linprog`` call per
+  node with the historical ``np.column_stack([lb, ub])`` allocation, no
+  node-LP cache, no reduced-cost fixing;
+* ``scipy``  — :class:`~repro.mip.lp_engine.ScipySession` with the
+  reusable bounds buffer and the node-LP outcome cache;
+* ``highs``  — the persistent :class:`~repro.mip.lp_engine.HighspySession`
+  with basis hot-starts (skipped when no bindings are available).
+
+Reduced-cost fixing is disabled for all timed runs so the engines are
+comparable: every engine must report the same optimum, and ``scipy``
+(same LP code path as ``legacy``) must explore the identical tree,
+making its nodes/sec an apples-to-apples measure.  The HiGHS engine may
+land on different degenerate vertices and branch elsewhere, so only its
+objective is checked.
+A separate ``scipy_rc`` run reports what reduced-cost fixing adds on
+top (objective asserted equal, tree allowed to shrink).
+
+Reported per engine: wall-clock, nodes/sec, LP iterations per node,
+hot-start ratio, and the speedup over ``legacy``.  The exit status is
+the smoke check: nonzero when node counts or objectives diverge, when
+a repeated run is not deterministic, or when the ScipySession speedup
+falls below ``--min-speedup``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_bnb_nodes.py --output BENCH_bnb.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+
+import numpy as np
+
+from repro.mip.bnb import BranchAndBoundSolver
+from repro.mip.lp_engine import HAVE_HIGHS_BINDINGS, LPResult, LPSession
+from repro.observability import MetricsRegistry, use_registry
+from repro.tvnep.base import ModelOptions
+from repro.tvnep.csigma_model import CSigmaModel
+from repro.workloads import small_scenario
+
+
+class LegacyLinprogSession(LPSession):
+    """The pre-session per-node LP call, kept verbatim as the baseline.
+
+    Every solve allocates a fresh ``(n, 2)`` bounds array with
+    ``np.column_stack`` and cold-starts ``linprog`` — exactly what the
+    solver did before the LP engine existed.
+    """
+
+    engine = "legacy"
+    supports_basis = False
+
+    def __init__(self, form) -> None:
+        super().__init__(form)
+        from repro.mip.highs_backend import _lp_data
+
+        self._lp_parts = _lp_data(form)
+
+    def _solve(self, lb, ub, basis) -> LPResult:
+        from scipy.optimize import linprog
+
+        A_ub, b_ub, A_eq, b_eq = self._lp_parts
+        res = linprog(
+            c=self.form.c,
+            A_ub=A_ub,
+            b_ub=b_ub,
+            A_eq=A_eq,
+            b_eq=b_eq,
+            bounds=np.column_stack([lb, ub]),
+            method="highs",
+        )
+        iterations = int(getattr(res, "nit", 0) or 0)
+        if res.status == 0:
+            return LPResult(
+                "optimal", np.asarray(res.x, dtype=float), float(res.fun),
+                iterations,
+            )
+        if res.status == 2:
+            return LPResult("infeasible", None, math.inf, iterations)
+        if res.status == 3:
+            return LPResult("unbounded", None, -math.inf, iterations)
+        return LPResult("error", None, math.nan, iterations)
+
+
+def parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--num-requests", type=int, default=6,
+                        help="requests in the cSigma instance")
+    parser.add_argument("--flexibility", type=float, default=1.0)
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="fail when scipy/legacy nodes-per-sec falls "
+                             "below this (1.0 = parity smoke only)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per engine (best is kept)")
+    parser.add_argument("--output", type=str, default="BENCH_bnb.json")
+    return parser.parse_args(argv)
+
+
+def build_model(args: argparse.Namespace):
+    scenario = small_scenario(
+        args.seed, num_requests=args.num_requests
+    ).with_flexibility(args.flexibility)
+    cs = CSigmaModel(
+        scenario.substrate,
+        scenario.requests,
+        fixed_mappings=scenario.node_mappings,
+        options=ModelOptions(),
+    )
+    return cs.model
+
+
+def run_engine(model, lp_session, rc_fixing: bool, node_lp_cache: bool,
+               repeats: int) -> dict:
+    best = None
+    for _ in range(repeats):
+        registry = MetricsRegistry()
+        solver = BranchAndBoundSolver(
+            lp_session=lp_session,
+            rc_fixing=rc_fixing,
+            node_lp_cache=node_lp_cache,
+        )
+        started = time.perf_counter()
+        with use_registry(registry):
+            result = solver.solve(model)
+        elapsed = time.perf_counter() - started
+        hot = registry.counter("solver.lp_hot_starts")
+        cold = registry.counter("solver.lp_cold_starts")
+        nodes = result.node_count
+        run = {
+            "wall_clock_seconds": elapsed,
+            "status": result.status.value,
+            "objective": result.objective,
+            "nodes": nodes,
+            "nodes_per_second": nodes / elapsed if elapsed > 0 else 0.0,
+            "lp_solves": int(hot + cold),
+            "lp_iterations": int(registry.counter("solver.lp_iterations")),
+            "lp_iterations_per_node": (
+                registry.counter("solver.lp_iterations") / nodes if nodes else 0.0
+            ),
+            "lp_hot_starts": int(hot),
+            "lp_cold_starts": int(cold),
+            "hot_start_ratio": hot / (hot + cold) if hot + cold else 0.0,
+            "node_cache_hits": int(registry.counter("solver.lp_node_cache_hits")),
+            "rc_fixed_cols": int(registry.counter("solver.rc_fixed_cols")),
+        }
+        if best is None or run["wall_clock_seconds"] < best["wall_clock_seconds"]:
+            best = run
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+    model = build_model(args)
+    failures: list[str] = []
+
+    print(f"cSigma instance: seed={args.seed}, "
+          f"requests={args.num_requests}, flexibility={args.flexibility}",
+          flush=True)
+
+    engines = {
+        "legacy": dict(lp_session=LegacyLinprogSession, rc_fixing=False,
+                       node_lp_cache=False),
+        "scipy": dict(lp_session="scipy", rc_fixing=False,
+                      node_lp_cache=True),
+    }
+    if HAVE_HIGHS_BINDINGS:
+        engines["highs"] = dict(lp_session="highs", rc_fixing=False,
+                                node_lp_cache=True)
+
+    runs: dict[str, dict] = {}
+    for name, options in engines.items():
+        runs[name] = run_engine(model, repeats=args.repeats, **options)
+        print(f"  {name:7s} {runs[name]['wall_clock_seconds']:.2f}s  "
+              f"{runs[name]['nodes']} nodes  "
+              f"{runs[name]['nodes_per_second']:.1f} nodes/s", flush=True)
+
+    # every engine must report the same optimum; scipy must additionally
+    # explore the identical tree (same LP code path as legacy — the HiGHS
+    # engine may pick different degenerate vertices and branch elsewhere)
+    reference = runs["legacy"]
+    if runs["scipy"]["nodes"] != reference["nodes"]:
+        failures.append(
+            f"scipy explored {runs['scipy']['nodes']} nodes, "
+            f"legacy explored {reference['nodes']}"
+        )
+    for name, run in runs.items():
+        if not math.isclose(run["objective"], reference["objective"],
+                            rel_tol=1e-9, abs_tol=1e-6):
+            failures.append(
+                f"{name} objective {run['objective']} != "
+                f"legacy {reference['objective']}"
+            )
+
+    # determinism: a repeated scipy run reproduces the tree exactly
+    rerun = run_engine(model, repeats=1, **engines["scipy"])
+    deterministic = (
+        rerun["nodes"] == runs["scipy"]["nodes"]
+        and rerun["objective"] == runs["scipy"]["objective"]
+        and rerun["lp_solves"] == runs["scipy"]["lp_solves"]
+    )
+    if not deterministic:
+        failures.append("repeated scipy run diverged (nondeterministic tree)")
+
+    # what reduced-cost fixing adds on top (tree may shrink, optimum may not)
+    rc_run = run_engine(model, lp_session="scipy", rc_fixing=True,
+                        node_lp_cache=True, repeats=1)
+    if not math.isclose(rc_run["objective"], reference["objective"],
+                        rel_tol=1e-9, abs_tol=1e-6):
+        failures.append(
+            f"reduced-cost fixing changed the optimum: "
+            f"{rc_run['objective']} != {reference['objective']}"
+        )
+    runs["scipy_rc"] = rc_run
+
+    speedup = (
+        runs["scipy"]["nodes_per_second"] / reference["nodes_per_second"]
+        if reference["nodes_per_second"] > 0
+        else float("inf")
+    )
+    if speedup < args.min_speedup:
+        failures.append(
+            f"scipy speedup {speedup:.2f}x below floor {args.min_speedup}x"
+        )
+
+    stats = {
+        "instance": {
+            "seed": args.seed,
+            "num_requests": args.num_requests,
+            "flexibility": args.flexibility,
+            "model": "csigma",
+        },
+        "engines": runs,
+        "scipy_speedup_vs_legacy": speedup,
+        "highs_speedup_vs_legacy": (
+            runs["highs"]["nodes_per_second"] / reference["nodes_per_second"]
+            if "highs" in runs and reference["nodes_per_second"] > 0
+            else None
+        ),
+        "deterministic": deterministic,
+        "trees_identical": not any("nodes" in f or "objective" in f
+                                   for f in failures),
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(stats, fh, indent=2)
+        fh.write("\n")
+
+    print(f"scipy speedup vs legacy: {speedup:.2f}x")
+    if "highs" in runs:
+        print(f"highs speedup vs legacy: "
+              f"{stats['highs_speedup_vs_legacy']:.2f}x  "
+              f"(hot-start ratio {runs['highs']['hot_start_ratio']:.3f})")
+    print(f"deterministic: {deterministic}")
+    print(f"wrote {args.output}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,12 @@ solve phases of a chosen formulation on a chosen workload scale and
 prints the hottest functions, so regressions in the modeling layer
 (expression churn, matrix assembly) show up as data instead of vibes.
 
+Solves through the ``bnb`` backend report LP time split across two
+timers: ``phase.lp_ms`` (the simplex solve itself) and
+``phase.lp_update_ms`` (pushing per-node bound updates into the
+persistent LP session) — a growing update share points at the session
+layer, not the solver.
+
 Usage::
 
     python scripts/profile_models.py                       # csigma, small

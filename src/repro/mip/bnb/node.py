@@ -40,6 +40,18 @@ class BranchNode:
         Objective bound inherited from the parent's LP relaxation (in the
         *user's* optimization sense); refined once this node's own
         relaxation is solved.
+    basis:
+        Opaque LP basis token (engine-specific, see
+        :mod:`repro.mip.lp_engine`).  Set from this node's own
+        relaxation when it has been solved, else inherited from the
+        parent, so a child LP hot-starts the dual simplex from the
+        closest solved ancestor.
+    cached_outcome:
+        The :class:`~repro.mip.lp_engine.LPResult` of this node's
+        relaxation, kept between the eager bounding solve at branch
+        time and the node being popped from the frontier, so the
+        identical LP is not solved twice.  Cleared on consumption to
+        bound memory.
     """
 
     parent: Optional["BranchNode"] = None
@@ -49,9 +61,15 @@ class BranchNode:
     depth: int = 0
     lp_bound: float = math.nan
     seq: int = field(default_factory=lambda: next(_node_counter))
+    basis: object = field(default=None, repr=False, compare=False)
+    cached_outcome: object = field(default=None, repr=False, compare=False)
 
     def child(self, var_index: int, lb: float, ub: float, lp_bound: float) -> "BranchNode":
-        """Create a child node tightening ``var_index`` to ``[lb, ub]``."""
+        """Create a child node tightening ``var_index`` to ``[lb, ub]``.
+
+        The child inherits this node's basis so its first relaxation
+        hot-starts from the parent — the two LPs differ by one bound.
+        """
         return BranchNode(
             parent=self,
             var_index=var_index,
@@ -59,6 +77,7 @@ class BranchNode:
             local_ub=ub,
             depth=self.depth + 1,
             lp_bound=lp_bound,
+            basis=self.basis,
         )
 
     def materialize_bounds(

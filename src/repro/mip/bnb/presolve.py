@@ -74,9 +74,13 @@ def tighten_bounds(
             start, end = indptr[row], indptr[row + 1]
             cols = indices[start:end]
             coefs = data[start:end]
-            if cols.size == 0:
-                continue
             row_lo, row_hi = form.row_lb[row], form.row_ub[row]
+            if cols.size == 0:
+                # an empty row has activity exactly 0: infeasible when 0
+                # lies outside [row_lo, row_hi], vacuous otherwise
+                if row_lo > _FEAS_TOL or row_hi < -_FEAS_TOL:
+                    return PresolveResult(lb, ub, False, total + changed, rounds)
+                continue
 
             # activity bounds of the whole row; infinities are tracked by
             # count so single-infinite-term residuals stay exact

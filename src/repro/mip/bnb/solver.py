@@ -10,10 +10,13 @@ This solver exists for two reasons:
    Models on identical instances (see
    ``benchmarks/bench_ablation_relaxation.py``).
 
-The implementation solves LP relaxations with HiGHS (``linprog``) over a
-shared constraint matrix, varying only the variable-bound arrays per
-node.  Branching and node-selection strategies are pluggable
-(:mod:`repro.mip.bnb.branching`, :mod:`repro.mip.bnb.node_selection`).
+The implementation solves LP relaxations through a persistent
+:class:`~repro.mip.lp_engine.LPSession`: the shared constraint matrix is
+loaded into the engine **once** per solve and every node answers via a
+bound-only update (plus, on the HiGHS-backed session, a dual-simplex
+hot-start from the parent node's basis).  Branching and node-selection
+strategies are pluggable (:mod:`repro.mip.bnb.branching`,
+:mod:`repro.mip.bnb.node_selection`).
 """
 
 from __future__ import annotations
@@ -23,7 +26,6 @@ import math
 import time
 
 import numpy as np
-from scipy.optimize import linprog
 
 from repro.mip.bnb.branching import (
     BranchingRule,
@@ -32,7 +34,12 @@ from repro.mip.bnb.branching import (
 )
 from repro.mip.bnb.node import BranchNode
 from repro.mip.bnb.node_selection import NodeSelection, make_node_selection
-from repro.mip.highs_backend import _lp_data
+from repro.mip.lp_engine import (
+    LPResult,
+    LPSession,
+    make_session,
+    reduced_cost_fixing,
+)
 from repro.mip.model import Model, StandardForm
 from repro.mip.solution import Solution, SolveStatus
 from repro.mip.warm_start import coerce_assignment, validate_assignment
@@ -43,24 +50,6 @@ __all__ = ["BranchAndBoundSolver", "solve"]
 logger = logging.getLogger("repro.runtime")
 
 BNB_NAME = "bnb"
-
-
-class _LPOutcome:
-    """Result of one node LP: internal-sense objective + point."""
-
-    __slots__ = ("status", "x", "internal_obj", "iterations")
-
-    def __init__(
-        self,
-        status: str,
-        x: np.ndarray | None,
-        internal_obj: float,
-        iterations: int = 0,
-    ):
-        self.status = status  # "optimal" | "infeasible" | "unbounded" | "error"
-        self.x = x
-        self.internal_obj = internal_obj
-        self.iterations = iterations
 
 
 class BranchAndBoundSolver:
@@ -78,6 +67,21 @@ class BranchAndBoundSolver:
         Relative gap at which the search stops.
     integrality_tol:
         LP values within this distance of an integer count as integral.
+    lp_session:
+        LP engine spec for the node relaxations: ``"auto"`` (HiGHS
+        persistent session with basis hot-starts when bindings are
+        available, scipy otherwise), ``"scipy"``, ``"highs"``, or a
+        callable ``form -> LPSession`` (see :mod:`repro.mip.lp_engine`).
+    rc_fixing:
+        Apply root reduced-cost fixing once an incumbent exists: fix
+        integral columns whose flip provably cannot beat the incumbent
+        before branching starts.  Never changes the reported optimal
+        objective; only shrinks the tree.
+    node_lp_cache:
+        Keep each frontier node's eager bounding LP result and reuse it
+        when the node is popped instead of re-solving the identical LP.
+        Node counts and solutions are unchanged (the cached result *is*
+        the LP result); only redundant simplex work disappears.
     """
 
     def __init__(
@@ -90,6 +94,9 @@ class BranchAndBoundSolver:
         rounding_heuristic: bool = True,
         cover_cuts: bool = False,
         max_cut_rounds: int = 5,
+        lp_session="auto",
+        rc_fixing: bool = True,
+        node_lp_cache: bool = True,
     ) -> None:
         self._branching_spec = branching
         self._selection_spec = node_selection
@@ -99,6 +106,9 @@ class BranchAndBoundSolver:
         self.rounding_heuristic = rounding_heuristic
         self.cover_cuts = cover_cuts
         self.max_cut_rounds = max_cut_rounds
+        self.lp_session = lp_session
+        self.rc_fixing = rc_fixing
+        self.node_lp_cache = node_lp_cache
 
     # ------------------------------------------------------------------
     def solve(
@@ -145,6 +155,8 @@ class BranchAndBoundSolver:
         form = model.to_standard_form()
         metrics.inc("solver.solves")
         lp_iters_before = metrics.counter("solver.lp_iterations")
+        lp_hot_before = metrics.counter("solver.lp_hot_starts")
+        lp_cold_before = metrics.counter("solver.lp_cold_starts")
         if trace is not None:
             trace.emit(
                 "solve_start",
@@ -227,12 +239,19 @@ class BranchAndBoundSolver:
                     start, 0, False,
                     trace=trace, metrics=metrics,
                     lp_iters_before=lp_iters_before,
+                    lp_hot_before=lp_hot_before,
+                    lp_cold_before=lp_cold_before,
                 )
             root_lb, root_ub = presolved.lb, presolved.ub
 
+        session = make_session(form, self.lp_session)
+        if trace is not None:
+            trace.emit("lp_session", engine=session.engine)
+
         root = BranchNode(lp_bound=-math.inf)
         with metrics.timer("phase.root_lp"):
-            root_outcome = self._solve_lp(form, root_lb, root_ub)
+            root_outcome = session.solve(root_lb, root_ub)
+        root.basis = root_outcome.basis
         nodes_processed += 1
         if trace is not None:
             payload = {"status": root_outcome.status}
@@ -244,8 +263,11 @@ class BranchAndBoundSolver:
                 form, incumbent_x, incumbent_internal, incumbent_internal,
                 start, nodes_processed, False,
                 trace=trace, metrics=metrics, lp_iters_before=lp_iters_before,
+                lp_hot_before=lp_hot_before, lp_cold_before=lp_cold_before,
+                session=session,
             )
         if root_outcome.status == "unbounded":
+            session.close()
             metrics.inc("solver.nodes", nodes_processed)
             if trace is not None:
                 trace.emit(
@@ -261,6 +283,7 @@ class BranchAndBoundSolver:
                 solver=BNB_NAME,
             )
         if root_outcome.status == "error":
+            session.close()
             metrics.inc("solver.nodes", nodes_processed)
             if trace is not None:
                 trace.emit(
@@ -297,8 +320,13 @@ class BranchAndBoundSolver:
                     break
                 metrics.inc("solver.cuts_added", len(cuts))
                 form = extend_form_with_cuts(form, cuts)
+                # the session is bound to the old matrix; reload with the
+                # strengthened form (a cold start, once per cut round)
+                session.close()
+                session = make_session(form, self.lp_session)
                 with metrics.timer("phase.cuts"):
-                    root_outcome = self._solve_lp(form, root_lb, root_ub)
+                    root_outcome = session.solve(root_lb, root_ub)
+                root.basis = root_outcome.basis
                 nodes_processed += 1
                 if trace is not None:
                     payload = {
@@ -318,15 +346,22 @@ class BranchAndBoundSolver:
                     form, None, math.inf, math.inf, start, nodes_processed, False,
                     trace=trace, metrics=metrics,
                     lp_iters_before=lp_iters_before,
+                    lp_hot_before=lp_hot_before,
+                    lp_cold_before=lp_cold_before,
+                    session=session,
                 )
 
         root.lp_bound = root_outcome.internal_obj
+        root.basis = root_outcome.basis
         global_bound = root_outcome.internal_obj
         frontier_open = True
 
         # try to manufacture an incumbent by rounding the root LP
         if self.rounding_heuristic and root_outcome.x is not None:
-            rounded = self._try_rounding(form, root_outcome.x, root_lb, root_ub)
+            rounded = self._try_rounding(
+                session, form, root_outcome.x, root_lb, root_ub,
+                basis=root_outcome.basis,
+            )
             if rounded is not None:
                 nodes_processed += 1
                 if rounded[0] < incumbent_internal:
@@ -339,8 +374,30 @@ class BranchAndBoundSolver:
                             source="rounding",
                         )
 
+        # root reduced-cost fixing: with an incumbent in hand (warm
+        # start or rounding), the root duals prove some binaries can
+        # never flip profitably — fix them before branching starts
+        if self.rc_fixing and math.isfinite(incumbent_internal):
+            root_lb = root_lb.copy()
+            root_ub = root_ub.copy()
+            fixed_cols = reduced_cost_fixing(
+                form,
+                root_lb,
+                root_ub,
+                root_outcome,
+                incumbent_internal,
+                integrality_tol=self.integrality_tol,
+                slack=self._cutoff_slack(incumbent_internal),
+            )
+            if trace is not None:
+                trace.emit(
+                    "rc_fixing",
+                    fixed_cols=fixed_cols,
+                    gap=incumbent_internal - root_outcome.internal_obj,
+                )
+
         # queue of (node, lp outcome) pairs whose relaxation is solved
-        pending: list[tuple[BranchNode, _LPOutcome]] = [(root, root_outcome)]
+        pending: list[tuple[BranchNode, LPResult]] = [(root, root_outcome)]
 
         search_tick = time.perf_counter()
         while pending or len(selection):
@@ -357,8 +414,18 @@ class BranchAndBoundSolver:
                 node, outcome = pending.pop()
             else:
                 node = selection.pop()
-                lb, ub = node.materialize_bounds(root_lb, root_ub)
-                outcome = self._solve_lp(form, lb, ub)
+                cached = node.cached_outcome
+                if self.node_lp_cache and cached is not None:
+                    # the eager bounding solve at branch time already
+                    # answered this exact LP (same form, same bounds);
+                    # reuse it instead of paying the simplex again
+                    outcome = cached
+                    node.cached_outcome = None
+                    metrics.inc("solver.lp_node_cache_hits")
+                else:
+                    lb, ub = node.materialize_bounds(root_lb, root_ub)
+                    outcome = session.solve(lb, ub, basis=node.basis)
+                    node.basis = outcome.basis or node.basis
                 nodes_processed += 1
 
             if outcome.status != "optimal":
@@ -447,7 +514,10 @@ class BranchAndBoundSolver:
                     selection.push(child)
                     continue
                 clb, cub = child.materialize_bounds(root_lb, root_ub)
-                child_outcome = self._solve_lp(form, clb, cub)
+                # hot-start from the parent basis the child inherited —
+                # the two LPs differ by exactly one bound
+                child_outcome = session.solve(clb, cub, basis=child.basis)
+                child.basis = child_outcome.basis or child.basis
                 nodes_processed += 1
                 child_bound = (
                     child_outcome.internal_obj
@@ -462,6 +532,8 @@ class BranchAndBoundSolver:
                 ):
                     continue
                 child.lp_bound = child_bound
+                if self.node_lp_cache:
+                    child.cached_outcome = child_outcome
                 selection.push(child)
             if hit_limit:
                 break
@@ -504,6 +576,9 @@ class BranchAndBoundSolver:
             trace=trace,
             metrics=metrics,
             lp_iters_before=lp_iters_before,
+            lp_hot_before=lp_hot_before,
+            lp_cold_before=lp_cold_before,
+            session=session,
         )
 
     # ------------------------------------------------------------------
@@ -520,15 +595,18 @@ class BranchAndBoundSolver:
 
     def _try_rounding(
         self,
+        session: LPSession,
         form: StandardForm,
         x: np.ndarray,
         lb: np.ndarray,
         ub: np.ndarray,
+        basis=None,
     ) -> tuple[float, np.ndarray] | None:
         """Round-and-repair primal heuristic.
 
         Fix every integral column to its nearest in-bounds integer and
-        re-solve the LP over the continuous columns.  Returns
+        re-solve the LP over the continuous columns (hot-started from
+        the root basis when the engine supports it).  Returns
         ``(internal objective, point)`` when the repair succeeds.
         """
         mask = form.integrality.astype(bool)
@@ -539,33 +617,10 @@ class BranchAndBoundSolver:
         trial_ub = ub.copy()
         trial_lb[mask] = fixed
         trial_ub[mask] = fixed
-        outcome = self._solve_lp(form, trial_lb, trial_ub)
+        outcome = session.solve(trial_lb, trial_ub, basis=basis)
         if outcome.status != "optimal" or outcome.x is None:
             return None
         return outcome.internal_obj, outcome.x.copy()
-
-    def _solve_lp(self, form: StandardForm, lb: np.ndarray, ub: np.ndarray) -> _LPOutcome:
-        A_ub, b_ub, A_eq, b_eq = _lp_data(form)
-        res = linprog(
-            c=form.c,
-            A_ub=A_ub,
-            b_ub=b_ub,
-            A_eq=A_eq,
-            b_eq=b_eq,
-            bounds=np.column_stack([lb, ub]),
-            method="highs",
-        )
-        iterations = int(getattr(res, "nit", 0) or 0)
-        get_registry().inc("solver.lp_iterations", iterations)
-        if res.status == 0:
-            return _LPOutcome(
-                "optimal", np.asarray(res.x, dtype=float), float(res.fun), iterations
-            )
-        if res.status == 2:
-            return _LPOutcome("infeasible", None, math.inf, iterations)
-        if res.status == 3:
-            return _LPOutcome("unbounded", None, -math.inf, iterations)
-        return _LPOutcome("error", None, math.nan, iterations)
 
     def _finish(
         self,
@@ -579,7 +634,12 @@ class BranchAndBoundSolver:
         trace=None,
         metrics=None,
         lp_iters_before: float = 0.0,
+        lp_hot_before: float = 0.0,
+        lp_cold_before: float = 0.0,
+        session: LPSession | None = None,
     ) -> Solution:
+        if session is not None:
+            session.close()
         runtime = time.perf_counter() - start
         if metrics is not None:
             metrics.inc("solver.nodes", nodes)
@@ -633,6 +693,12 @@ class BranchAndBoundSolver:
                 payload["lp_iterations"] = int(
                     metrics.counter("solver.lp_iterations") - lp_iters_before
                 )
+                payload["lp_hot_starts"] = int(
+                    metrics.counter("solver.lp_hot_starts") - lp_hot_before
+                )
+                payload["lp_cold_starts"] = int(
+                    metrics.counter("solver.lp_cold_starts") - lp_cold_before
+                )
             trace.emit("solve_end", **payload)
         return solution
 
@@ -647,10 +713,18 @@ def solve(
     budget=None,
     warm_start=None,
     trace=None,
+    lp_session="auto",
+    rc_fixing: bool = True,
+    node_lp_cache: bool = True,
 ) -> Solution:
     """Convenience wrapper around :class:`BranchAndBoundSolver`."""
     solver = BranchAndBoundSolver(
-        branching=branching, node_selection=node_selection, mip_gap=mip_gap
+        branching=branching,
+        node_selection=node_selection,
+        mip_gap=mip_gap,
+        lp_session=lp_session,
+        rc_fixing=rc_fixing,
+        node_lp_cache=node_lp_cache,
     )
     return solver.solve(
         model,

@@ -17,7 +17,7 @@ import time
 from typing import Mapping
 
 import numpy as np
-from scipy.optimize import Bounds, LinearConstraint, linprog, milp
+from scipy.optimize import Bounds, LinearConstraint, milp
 
 from repro.exceptions import SolverError
 from repro.mip.model import Model, StandardForm
@@ -227,32 +227,41 @@ def solve_relaxation(
     return solve_relaxation_arrays(form, lb, ub)
 
 
+def _relaxation_session(form: StandardForm):
+    """The memoized per-form LP session used for relaxation solves.
+
+    Repeated relaxation solves over one compiled form (the relaxation-
+    strength ablation, feasibility probes, the enumerative greedy) share
+    one :class:`~repro.mip.lp_engine.ScipySession`, so the (A_ub, A_eq)
+    split and the bounds buffer are built once per form instead of once
+    per call.  The scipy engine is used deliberately: it preserves the
+    historical ``linprog`` semantics (statuses, vertices) exactly.
+    """
+    session = getattr(form, "_relaxation_session_cache", None)
+    if session is None:
+        from repro.mip.lp_engine import ScipySession
+
+        session = ScipySession(form)
+        form._relaxation_session_cache = session
+    return session
+
+
 def solve_relaxation_arrays(
     form: StandardForm, lb: np.ndarray, ub: np.ndarray
 ) -> Solution:
     """LP relaxation of a standard form with explicit bound arrays.
 
-    This is the hot path of the branch-and-bound solver: the constraint
-    matrix is reused across nodes and only the bounds change.
+    This is the hot path of relaxation-based probes: the constraint
+    matrix is reused across calls and only the bounds change, so the
+    solve goes through the per-form cached LP session.
     """
-    A_ub, b_ub, A_eq, b_eq = _lp_data(form)
     start = time.perf_counter()
-    res = linprog(
-        c=form.c,
-        A_ub=A_ub,
-        b_ub=b_ub,
-        A_eq=A_eq,
-        b_eq=b_eq,
-        bounds=np.column_stack([lb, ub]),
-        method="highs",
-    )
+    outcome = _relaxation_session(form).solve(lb, ub)
     runtime = time.perf_counter() - start
-    metrics = get_registry()
-    metrics.inc("solver.lp_iterations", int(getattr(res, "nit", 0) or 0))
-    metrics.add_ms("phase.lp", runtime * 1000.0)
+    get_registry().add_ms("phase.lp_total", runtime * 1000.0)
 
-    if res.status == 0:
-        x = np.asarray(res.x, dtype=float)
+    if outcome.status == "optimal":
+        x = outcome.x
         objective = form.user_objective(x)
         values = {var: float(x[i]) for i, var in enumerate(form.variables)}
         return Solution(
@@ -262,27 +271,23 @@ def solve_relaxation_arrays(
             best_bound=objective,
             runtime=runtime,
             solver=f"{HIGHS_NAME}-lp",
-            message=str(res.message),
         )
-    if res.status == 2:
+    if outcome.status == "infeasible":
         return Solution(
             status=SolveStatus.INFEASIBLE,
             runtime=runtime,
             solver=f"{HIGHS_NAME}-lp",
-            message=str(res.message),
         )
-    if res.status == 3:
+    if outcome.status == "unbounded":
         return Solution(
             status=SolveStatus.UNBOUNDED,
             runtime=runtime,
             solver=f"{HIGHS_NAME}-lp",
-            message=str(res.message),
         )
     return Solution(
         status=SolveStatus.ERROR,
         runtime=runtime,
         solver=f"{HIGHS_NAME}-lp",
-        message=str(res.message),
     )
 
 

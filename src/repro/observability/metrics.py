@@ -221,10 +221,16 @@ def telemetry_block(snap: dict) -> dict:
         for name, value in sorted(counters.items())
         if name.endswith(TIMING_SUFFIX)
     }
+    hot = counters.get("solver.lp_hot_starts", 0)
+    cold = counters.get("solver.lp_cold_starts", 0)
     return {
         "solves": int(counters.get("solver.solves", 0)),
         "nodes": int(counters.get("solver.nodes", 0)),
         "lp_iterations": int(counters.get("solver.lp_iterations", 0)),
+        "lp_hot_starts": int(hot),
+        "lp_cold_starts": int(cold),
+        "basis_reuse_ratio": round(hot / (hot + cold), 6) if hot + cold else 0.0,
+        "rc_fixed_cols": int(counters.get("solver.rc_fixed_cols", 0)),
         "cuts_added": int(counters.get("solver.cuts_added", 0)),
         "cache_hits": int(counters.get("cache.standard_form_hits", 0)),
         "cache_misses": int(counters.get("cache.standard_form_misses", 0)),

@@ -47,6 +47,14 @@ TRACE_SCHEMA: dict[str, dict[str, dict[str, str]]] = {
         "required": {"status": "str"},
         "optional": {"bound": "float"},
     },
+    "lp_session": {
+        "required": {"engine": "str"},
+        "optional": {},
+    },
+    "rc_fixing": {
+        "required": {"fixed_cols": "int"},
+        "optional": {"gap": "float"},
+    },
     "cut_round": {
         "required": {"round": "int", "cuts_added": "int"},
         "optional": {"bound": "float", "status": "str"},
@@ -69,7 +77,13 @@ TRACE_SCHEMA: dict[str, dict[str, dict[str, str]]] = {
     },
     "solve_end": {
         "required": {"solver": "str", "status": "str", "nodes": "int"},
-        "optional": {"objective": "float", "bound": "float", "lp_iterations": "int"},
+        "optional": {
+            "objective": "float",
+            "bound": "float",
+            "lp_iterations": "int",
+            "lp_hot_starts": "int",
+            "lp_cold_starts": "int",
+        },
     },
 }
 

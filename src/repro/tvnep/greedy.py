@@ -89,24 +89,34 @@ def _link_flow_values(raw: Solution) -> dict[str, float]:
     }
 
 
-def solve_raw_warm(model, backend, time_limit, warm_start):
-    """``solve_raw`` passing ``warm_start`` only when one exists.
+def solve_raw_warm(model, backend, time_limit, warm_start, **extra):
+    """``solve_raw`` passing optional keywords only when the backend takes them.
 
-    A custom backend callable that does not take the keyword is retried
-    cold — warm starts are an optimization and must never turn into a
-    hard dependency on a backend's signature.
+    ``warm_start`` (and any ``extra`` keyword, e.g. the branch-and-bound
+    ``lp_session`` spec) is an optimization hint, never a hard
+    dependency on a backend's signature: a backend that rejects a
+    keyword with :class:`TypeError` is retried with progressively fewer
+    hints, down to a plain cold solve.
     """
-    if warm_start is None:
-        return model.solve_raw(backend=backend, time_limit=time_limit)
-    try:
-        return model.solve_raw(
-            backend=backend, time_limit=time_limit, warm_start=warm_start
-        )
-    except TypeError:
-        logger.debug(
-            "backend %r rejected the warm_start keyword; solving cold", backend
-        )
-        return model.solve_raw(backend=backend, time_limit=time_limit)
+    kwargs = dict(extra)
+    if warm_start is not None:
+        kwargs["warm_start"] = warm_start
+    # drop hints one at a time: lp_session first (rarest), then
+    # warm_start, then solve cold
+    for attempt in (dict(kwargs), {"warm_start": warm_start} if warm_start is not None else {}, {}):
+        try:
+            return model.solve_raw(
+                backend=backend, time_limit=time_limit, **attempt
+            )
+        except TypeError:
+            if not attempt:
+                raise
+            logger.debug(
+                "backend %r rejected keywords %s; retrying with fewer hints",
+                backend,
+                sorted(attempt),
+            )
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 @dataclass
@@ -141,6 +151,7 @@ def greedy_csigma(
     time_limit_per_iteration: float | None = None,
     time_limit: float | None = None,
     budget: SolveBudget | None = None,
+    lp_session: str | None = None,
 ) -> GreedyResult:
     """Run Algorithm cSigma^G_A.
 
@@ -170,6 +181,12 @@ def greedy_csigma(
         An existing :class:`~repro.runtime.budget.SolveBudget` to
         consume instead of creating one from ``time_limit`` (used when
         the caller threads one global budget through several phases).
+    lp_session:
+        Optional LP-engine spec (see :mod:`repro.mip.lp_engine`)
+        forwarded to branch-and-bound backends.  The insertion loop
+        re-solves near-identical cSigma models, so a persistent HiGHS
+        session with basis hot-starts pays off here; backends without
+        the keyword ignore it.
     """
     missing = [r.name for r in requests if r.name not in fixed_mappings]
     if missing:
@@ -179,6 +196,7 @@ def greedy_csigma(
     options = options or ModelOptions()
     if budget is None and time_limit is not None:
         budget = SolveBudget(time_limit)
+    solve_hints = {} if lp_session is None else {"lp_session": lp_session}
 
     # L <- R ordered by earliest possible start (stable for ties)
     order = sorted(requests, key=lambda r: (r.earliest_start, r.name))
@@ -252,7 +270,9 @@ def greedy_csigma(
                 _pinned_schedule(current, accepted, candidate=request.name),
                 flow_values,
             )
-            raw = solve_raw_warm(model, backend, iteration_limit, warm)
+            raw = solve_raw_warm(
+                model, backend, iteration_limit, warm, **solve_hints
+            )
         except (SolverError, ModelingError) as exc:
             # a failed iteration conservatively rejects the request —
             # the run degrades instead of dying (Sec. V semantics: a
@@ -303,7 +323,9 @@ def greedy_csigma(
         final_warm = validated_warm_start(
             final_model, _pinned_schedule(current, accepted), flow_values
         )
-        final_raw = solve_raw_warm(final_model, backend, final_limit, final_warm)
+        final_raw = solve_raw_warm(
+            final_model, backend, final_limit, final_warm, **solve_hints
+        )
     except SolverError as exc:
         raise SolverError(
             f"greedy final extraction solve failed: {exc}"

@@ -85,6 +85,7 @@ def hybrid_heavy_hitters(
     time_limit_per_iteration: float | None = None,
     time_limit: float | None = None,
     budget: SolveBudget | None = None,
+    lp_session: str | None = None,
 ) -> HybridResult:
     """Exact on the heavy-hitters, greedy on the rest (Sec. VIII).
 
@@ -102,6 +103,11 @@ def hybrid_heavy_hitters(
         one from): the exact phase receives half the remaining time and
         the greedy insertions divide the rest fairly, so the hybrid
         always terminates on schedule.
+    lp_session:
+        Optional LP-engine spec (see :mod:`repro.mip.lp_engine`)
+        forwarded to branch-and-bound backends; the insertion loop
+        re-solves near-identical cSigma models, the best case for a
+        persistent session.  Backends without the keyword ignore it.
     """
     if not 0.0 <= heavy_fraction <= 1.0:
         raise ValidationError("heavy_fraction must lie in [0, 1]")
@@ -115,6 +121,7 @@ def hybrid_heavy_hitters(
         budget = SolveBudget(time_limit)
     horizon = max(r.latest_end for r in requests)
     options = _with_horizon(options, horizon)
+    solve_hints = {} if lp_session is None else {"lp_session": lp_session}
 
     by_revenue = sorted(requests, key=lambda r: (-r.revenue(), r.name))
     num_heavy = max(1, round(heavy_fraction * len(by_revenue))) if by_revenue else 0
@@ -213,7 +220,9 @@ def hybrid_heavy_hitters(
                 _pinned_schedule(current, accepted, candidate=request.name),
                 flow_values,
             )
-            raw = solve_raw_warm(model, backend, iteration_limit, warm)
+            raw = solve_raw_warm(
+                model, backend, iteration_limit, warm, **solve_hints
+            )
         except (SolverError, ModelingError) as exc:
             logger.warning(
                 "hybrid insertion for %s failed (%s); rejecting", request.name, exc
@@ -250,7 +259,7 @@ def hybrid_heavy_hitters(
         final_model, _pinned_schedule(current, accepted), flow_values
     )
     solution = final_model.extract(
-        solve_raw_warm(final_model, backend, final_limit, final_warm)
+        solve_raw_warm(final_model, backend, final_limit, final_warm, **solve_hints)
     )
 
     solution = _restore_requests(solution, requests)

@@ -153,6 +153,138 @@ def test_presolve_preserves_optimum(model):
         assert highs.objective == pytest.approx(bnb.objective, abs=1e-6)
 
 
+def raw_form(A, row_lb, row_ub, lb, ub, integrality):
+    """Assemble a StandardForm directly (edge cases the modeling layer
+    would reject or normalize away)."""
+    import scipy.sparse as sp
+
+    from repro.mip.expr import Variable, VarType
+    from repro.mip.model import StandardForm
+
+    n = len(lb)
+    variables = [
+        Variable(
+            f"x{i}",
+            lb=float(lb[i]),
+            ub=float(ub[i]),
+            vtype=VarType.INTEGER if integrality[i] else VarType.CONTINUOUS,
+            index=i,
+        )
+        for i in range(n)
+    ]
+    return StandardForm(
+        c=np.zeros(n),
+        c0=0.0,
+        A=sp.csr_matrix(np.asarray(A, dtype=float).reshape(-1, n)),
+        row_lb=np.asarray(row_lb, dtype=float),
+        row_ub=np.asarray(row_ub, dtype=float),
+        lb=np.asarray(lb, dtype=float),
+        ub=np.asarray(ub, dtype=float),
+        integrality=np.asarray(integrality, dtype=float),
+        sense_sign=1.0,
+        variables=variables,
+        constraint_names=[f"r{i}" for i in range(len(row_lb))],
+    )
+
+
+class TestEdgeCases:
+    def test_empty_row_satisfiable_is_ignored(self):
+        """An all-zero row with 0 inside its bounds changes nothing."""
+        form = raw_form(
+            A=[[0.0, 0.0]],
+            row_lb=[-1.0],
+            row_ub=[1.0],
+            lb=[0.0, 0.0],
+            ub=[5.0, 5.0],
+            integrality=[0.0, 0.0],
+        )
+        result = tighten_bounds(form, form.lb, form.ub)
+        assert result.feasible
+        assert np.array_equal(result.lb, form.lb)
+        assert np.array_equal(result.ub, form.ub)
+
+    def test_empty_row_with_violated_bounds_is_infeasible(self):
+        """An all-zero row demanding a nonzero activity proves infeasibility."""
+        form = raw_form(
+            A=[[0.0, 0.0]],
+            row_lb=[2.0],
+            row_ub=[3.0],
+            lb=[0.0, 0.0],
+            ub=[5.0, 5.0],
+            integrality=[0.0, 0.0],
+        )
+        result = tighten_bounds(form, form.lb, form.ub)
+        assert not result.feasible
+
+    def test_input_bound_crossing_is_infeasible(self):
+        """Starting bounds with lb > ub are reported infeasible, not NaN."""
+        form = raw_form(
+            A=[[1.0]],
+            row_lb=[-np.inf],
+            row_ub=[10.0],
+            lb=[0.0],
+            ub=[5.0],
+            integrality=[0.0],
+        )
+        lb = form.lb.copy()
+        lb[0] = 6.0  # crosses ub = 5
+        result = tighten_bounds(form, lb, form.ub)
+        assert not result.feasible
+
+    def test_propagated_crossing_is_infeasible(self):
+        """Rows forcing lb above ub during propagation stop the sweep."""
+        form = raw_form(
+            A=[[1.0], [1.0]],
+            row_lb=[7.0, -np.inf],
+            row_ub=[np.inf, 3.0],
+            lb=[0.0],
+            ub=[10.0],
+            integrality=[0.0],
+        )
+        result = tighten_bounds(form, form.lb, form.ub)
+        assert not result.feasible
+
+    def test_integral_rounding_both_directions(self):
+        """Fractional tightened bounds snap inward for integral columns."""
+        form = raw_form(
+            A=[[2.0], [-2.0]],
+            row_lb=[-np.inf, -np.inf],
+            row_ub=[7.0, -3.0],  # x <= 3.5 and x >= 1.5
+            lb=[0.0],
+            ub=[10.0],
+            integrality=[1.0],
+        )
+        result = tighten_bounds(form, form.lb, form.ub)
+        assert result.feasible
+        assert result.ub[0] == 3.0  # floor(3.5)
+        assert result.lb[0] == 2.0  # ceil(1.5)
+
+    def test_integral_rounding_can_prove_infeasibility(self):
+        """Rounding an integral window to empty proves infeasibility."""
+        form = raw_form(
+            A=[[4.0], [-4.0]],
+            row_lb=[-np.inf, -np.inf],
+            row_ub=[9.0, -5.0],  # 1.25 <= x <= 2.25 -> integral window empty? no: {2}
+            lb=[0.0],
+            ub=[10.0],
+            integrality=[1.0],
+        )
+        result = tighten_bounds(form, form.lb, form.ub)
+        assert result.feasible
+        assert result.lb[0] == 2.0 and result.ub[0] == 2.0
+        # now shrink the window so no integer survives: 1.25 <= x <= 1.75
+        form2 = raw_form(
+            A=[[4.0], [-4.0]],
+            row_lb=[-np.inf, -np.inf],
+            row_ub=[7.0, -5.0],
+            lb=[0.0],
+            ub=[10.0],
+            integrality=[1.0],
+        )
+        result2 = tighten_bounds(form2, form2.lb, form2.ub)
+        assert not result2.feasible
+
+
 class TestInfiniteBounds:
     def test_unbounded_column_residuals(self):
         """Rows touching unbounded columns must not produce NaNs."""
