@@ -21,7 +21,6 @@ from __future__ import annotations
 import math
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.mip.model import StandardForm
 
@@ -117,32 +116,40 @@ def extend_form_with_cuts(
     form: StandardForm,
     cuts: list[tuple[np.ndarray, np.ndarray, float]],
 ) -> StandardForm:
-    """A new standard form with the cut rows appended."""
+    """A new standard form with the cut rows appended.
+
+    Packaged as a :class:`~repro.mip.columnar.FormBlock` and appended
+    via :meth:`StandardForm.append_block`, so the prefix CSR arrays are
+    concatenated (never re-assembled) and the result satisfies
+    :func:`~repro.mip.lp_engine.form_extends` — which lets a live
+    :class:`~repro.mip.lp_engine.LPSession` absorb the cut rows in
+    place instead of reloading.
+    """
     if not cuts:
         return form
-    n = form.A.shape[1]
-    rows = []
-    for i, (cols, signs, _) in enumerate(cuts):
-        row = sp.coo_matrix(
-            (signs, (np.zeros_like(cols), cols)), shape=(1, n)
-        )
-        rows.append(row)
-    A = sp.vstack([form.A] + rows).tocsr()
-    row_lb = np.concatenate([form.row_lb, np.full(len(cuts), -np.inf)])
-    row_ub = np.concatenate(
-        [form.row_ub, np.array([rhs for (_, _, rhs) in cuts])]
+    from repro.mip.columnar import FormBlock
+
+    # canonicalize each row (sorted columns; duplicates cannot occur —
+    # cover members are distinct columns of one source row)
+    sorted_cols: list[np.ndarray] = []
+    sorted_signs: list[np.ndarray] = []
+    for cols, signs, _ in cuts:
+        order = np.argsort(cols, kind="stable")
+        sorted_cols.append(np.asarray(cols, dtype=np.int64)[order])
+        sorted_signs.append(np.asarray(signs, dtype=np.float64)[order])
+    indptr = np.zeros(len(cuts) + 1, dtype=np.int64)
+    np.cumsum([len(cols) for cols in sorted_cols], out=indptr[1:])
+    block = FormBlock(
+        variables=[],
+        c_tail=np.zeros(0),
+        lb=np.zeros(0),
+        ub=np.zeros(0),
+        integrality=np.zeros(0, dtype=np.uint8),
+        indptr=indptr,
+        cols=np.concatenate(sorted_cols),
+        data=np.concatenate(sorted_signs),
+        row_lb=np.full(len(cuts), -np.inf),
+        row_ub=np.array([rhs for (_, _, rhs) in cuts], dtype=np.float64),
+        names=[f"cover{i}" for i in range(len(cuts))],
     )
-    names = form.constraint_names + [f"cover{i}" for i in range(len(cuts))]
-    return StandardForm(
-        c=form.c,
-        c0=form.c0,
-        A=A,
-        row_lb=row_lb,
-        row_ub=row_ub,
-        lb=form.lb,
-        ub=form.ub,
-        integrality=form.integrality,
-        sense_sign=form.sense_sign,
-        variables=form.variables,
-        constraint_names=names,
-    )
+    return form.append_block(block)

@@ -320,10 +320,12 @@ class BranchAndBoundSolver:
                     break
                 metrics.inc("solver.cuts_added", len(cuts))
                 form = extend_form_with_cuts(form, cuts)
-                # the session is bound to the old matrix; reload with the
-                # strengthened form (a cold start, once per cut round)
-                session.close()
-                session = make_session(form, self.lp_session)
+                # push the cut rows into the live session when the
+                # engine supports row appends; otherwise reload the
+                # strengthened form into a fresh session
+                if not session.load_appended(form):
+                    session.close()
+                    session = make_session(form, self.lp_session)
                 with metrics.timer("phase.cuts"):
                     root_outcome = session.solve(root_lb, root_ub)
                 root.basis = root_outcome.basis

@@ -9,14 +9,26 @@ The compilation is the only performance-sensitive step of the modeling
 layer; it assembles a single COO triplet list in one pass over all
 constraints and converts it to CSR, so models with hundreds of thousands
 of non-zeros build in well under a second.
+
+Constraints are stored as an ordered list of *row chunks*: either a
+single dict-built :class:`~repro.mip.constraint.Constraint` or a
+pre-compiled :class:`~repro.mip.columnar.RowBlock` emitted by the
+columnar fast path.  Because every mutation the model supports is
+append-only (new variables/rows) or matrix-preserving (bounds, the
+objective), each compile can reuse the CSR parts of the previously
+compiled prefix and only assemble the rows added since — see
+:class:`_CompiledPrefix`.  :meth:`Model.mark` / :meth:`Model.truncate`
+expose a checkpoint/rollback pair over this append-only structure so
+incremental formulations (the greedy cSigma loop) can rebuild just
+their volatile tail.
 """
 
 from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -26,10 +38,14 @@ from repro.mip.constraint import Constraint, Sense
 from repro.mip.expr import ExprLike, LinExpr, Variable, VarType, as_expr
 from repro.observability.metrics import get_registry
 
+if TYPE_CHECKING:
+    from repro.mip.columnar import ColumnarEmitter, FormBlock, RowBlock
+
 __all__ = [
     "ObjectiveSense",
     "StandardForm",
     "Model",
+    "ModelMark",
     "standard_form_cache_stats",
     "reset_standard_form_cache_stats",
 ]
@@ -126,6 +142,96 @@ class StandardForm:
         """Convert an internal (minimization) dual bound to user sense."""
         return self.sense_sign * internal_bound + self.c0
 
+    def append_block(self, block: "FormBlock") -> "StandardForm":
+        """Append an extension block without recompiling the prefix.
+
+        Returns a *new* :class:`StandardForm` whose first ``num_vars``
+        columns and first ``num_constraints`` rows are exactly this
+        form's (the CSR parts are concatenated, never re-assembled) and
+        whose tail is the block's new columns and rows.  Valid because
+        an extension's prefix rows cannot reference its new columns.
+
+        ``self`` is left untouched, so an :class:`~repro.mip.lp_engine`
+        session loaded from it can :meth:`~repro.mip.lp_engine.LPSession.load_appended`
+        the result.
+        """
+        n = self.num_vars + block.num_vars
+        m = self.num_constraints + block.num_rows
+        nnz = self.A.indptr[-1]
+        indptr = np.concatenate(
+            [self.A.indptr, block.indptr[1:].astype(np.int64) + int(nnz)]
+        )
+        indices = np.concatenate([self.A.indices, block.cols])
+        data = np.concatenate([self.A.data, block.data])
+        A = sp.csr_matrix((data, indices, indptr), shape=(m, n))
+        return StandardForm(
+            c=np.concatenate([self.c, block.c_tail]),
+            c0=self.c0,
+            A=A,
+            row_lb=np.concatenate([self.row_lb, block.row_lb]),
+            row_ub=np.concatenate([self.row_ub, block.row_ub]),
+            lb=np.concatenate([self.lb, block.lb]),
+            ub=np.concatenate([self.ub, block.ub]),
+            integrality=np.concatenate([self.integrality, block.integrality]),
+            sense_sign=self.sense_sign,
+            variables=self.variables + list(block.variables),
+            constraint_names=self.constraint_names + list(block.names),
+        )
+
+
+@dataclass(frozen=True)
+class ModelMark:
+    """A checkpoint of a model's append-only state (:meth:`Model.mark`).
+
+    Captures the variable/chunk/row counts plus an objective snapshot so
+    :meth:`Model.truncate` can roll the model back to exactly this
+    point, and :meth:`Model.extend` can compile only what was added
+    since.
+    """
+
+    num_vars: int
+    num_chunks: int
+    num_rows: int
+    objective: LinExpr
+    sense: "ObjectiveSense"
+
+
+@dataclass
+class _CompiledPrefix:
+    """CSR parts of the already-compiled chunk prefix.
+
+    Canonical CSR is unique per row, so the prefix rows of a fresh
+    global compile are byte-for-byte the rows compiled last time — the
+    identity that lets :meth:`Model._compile_standard_form` concatenate
+    instead of re-assembling.  The arrays are shared with the previously
+    returned :class:`StandardForm` (read-only by contract).
+    """
+
+    num_chunks: int = 0
+    num_rows: int = 0
+    nnz: int = 0
+    indptr: np.ndarray = field(default_factory=lambda: np.zeros(1, dtype=np.int64))
+    indices: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    data: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    row_lb: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    row_ub: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    names: list[str] = field(default_factory=list)
+
+    def sliced(self, num_chunks: int, num_rows: int) -> "_CompiledPrefix":
+        """The prefix restricted to the first ``num_rows`` rows."""
+        nnz = int(self.indptr[num_rows])
+        return _CompiledPrefix(
+            num_chunks=num_chunks,
+            num_rows=num_rows,
+            nnz=nnz,
+            indptr=self.indptr[: num_rows + 1],
+            indices=self.indices[:nnz],
+            data=self.data[:nnz],
+            row_lb=self.row_lb[:num_rows],
+            row_ub=self.row_ub[:num_rows],
+            names=self.names[:num_rows],
+        )
+
 
 class Model:
     """A mixed-integer linear program under construction.
@@ -142,7 +248,11 @@ class Model:
         self.name = name
         self._vars: list[Variable] = []
         self._var_names: set[str] = set()
-        self._constraints: list[Constraint] = []
+        # ordered row chunks: Constraint (one row) or RowBlock (many)
+        self._chunks: list[Union[Constraint, "RowBlock"]] = []
+        self._num_rows: int = 0
+        #: non-zeros contributed through the columnar fast path
+        self.columnar_nnz: int = 0
         self._objective: LinExpr = LinExpr()
         self._sense: ObjectiveSense = ObjectiveSense.MINIMIZE
         # standard-form memoization: the compiled matrices are reused
@@ -150,6 +260,10 @@ class Model:
         self._mutation_version: int = 0
         self._form_cache: StandardForm | None = None
         self._form_cache_version: int = -1
+        # CSR parts of the already-compiled chunk prefix; mutations are
+        # append-only or matrix-preserving, so this survives everything
+        # except truncation (which merely slices it)
+        self._prefix: _CompiledPrefix | None = None
 
     # ------------------------------------------------------------------
     # variables
@@ -225,6 +339,23 @@ class Model:
         var.lb = var.ub = float(value)
         self.invalidate_standard_form()
 
+    def set_var_bounds(self, var: Variable, lb: float, ub: float) -> None:
+        """Overwrite a variable's bounds (possibly *loosening* them).
+
+        Unlike :meth:`fix_var` this is not restricted to the current
+        interval, so incremental formulations can un-pin a previously
+        fixed variable.  A bounds write never touches the constraint
+        matrix, so the compiled prefix survives.
+        """
+        if lb > ub:
+            raise ModelingError(
+                f"cannot bound {var.name!r} to empty interval [{lb}, {ub}]"
+            )
+        self._check_owned(var)
+        var.lb = float(lb)
+        var.ub = float(ub)
+        self.invalidate_standard_form()
+
     # ------------------------------------------------------------------
     # constraints
     # ------------------------------------------------------------------
@@ -251,7 +382,8 @@ class Model:
             )
         for var in constraint.lhs.terms:
             self._check_owned(var)
-        self._constraints.append(constraint)
+        self._chunks.append(constraint)
+        self._num_rows += 1
         self.invalidate_standard_form()
         return constraint
 
@@ -264,13 +396,125 @@ class Model:
             added.append(self.add_constr(con, name=f"{prefix}{i}" if prefix else ""))
         return added
 
+    def add_row_block(self, block: "RowBlock") -> "RowBlock":
+        """Register a pre-compiled :class:`~repro.mip.columnar.RowBlock`.
+
+        Blocks are produced by
+        :meth:`~repro.mip.columnar.ColumnarEmitter.flush`; their rows
+        compile in place alongside dict-built constraints in insertion
+        order.
+        """
+        if len(block):
+            self._chunks.append(block)
+            self._num_rows += len(block)
+            self.columnar_nnz += block.nnz
+            get_registry().inc("model.columnar_terms", block.nnz)
+            self.invalidate_standard_form()
+        return block
+
+    def columnar_emitter(self) -> "ColumnarEmitter":
+        """A fresh :class:`~repro.mip.columnar.ColumnarEmitter` on this model."""
+        from repro.mip.columnar import ColumnarEmitter
+
+        return ColumnarEmitter(self)
+
     @property
     def constraints(self) -> Sequence[Constraint]:
-        return tuple(self._constraints)
+        """All rows as :class:`Constraint` objects (diagnostics only).
+
+        Row blocks re-materialize lazily (and cache the result), so the
+        hot path never pays for this; the LP writer and
+        :meth:`check_assignment` do.
+        """
+        out: list[Constraint] = []
+        for chunk in self._chunks:
+            if isinstance(chunk, Constraint):
+                out.append(chunk)
+            else:
+                out.extend(chunk.to_constraints(self._vars))
+        return tuple(out)
 
     @property
     def num_constraints(self) -> int:
-        return len(self._constraints)
+        return self._num_rows
+
+    # ------------------------------------------------------------------
+    # incremental construction
+    # ------------------------------------------------------------------
+    def mark(self) -> ModelMark:
+        """Checkpoint the current append-only state for :meth:`truncate`."""
+        return ModelMark(
+            num_vars=len(self._vars),
+            num_chunks=len(self._chunks),
+            num_rows=self._num_rows,
+            objective=self._objective.copy(),
+            sense=self._sense,
+        )
+
+    def truncate(self, mark: ModelMark) -> None:
+        """Roll the model back to a :meth:`mark` checkpoint.
+
+        Drops every variable and row chunk added since the mark and
+        restores the objective captured in it.  Rows added before the
+        mark can only reference variables that existed then, so the
+        surviving prefix is self-consistent — and its compiled CSR parts
+        are merely sliced, not discarded.
+        """
+        if mark.num_vars > len(self._vars) or mark.num_chunks > len(self._chunks):
+            raise ModelingError("cannot truncate to a mark from a larger model")
+        for var in self._vars[mark.num_vars :]:
+            self._var_names.discard(var.name)
+        del self._vars[mark.num_vars :]
+        del self._chunks[mark.num_chunks :]
+        self._num_rows = mark.num_rows
+        self._objective = mark.objective.copy()
+        self._sense = mark.sense
+        if self._prefix is not None and self._prefix.num_chunks > mark.num_chunks:
+            self._prefix = self._prefix.sliced(mark.num_chunks, mark.num_rows)
+        self.invalidate_standard_form()
+
+    def extend(self, since: ModelMark) -> "FormBlock":
+        """Compile everything added since ``since`` as a form extension.
+
+        The resulting :class:`~repro.mip.columnar.FormBlock` holds the
+        new columns' metadata (bounds, integrality, objective
+        coefficients in the internal minimization convention) and the
+        new rows' CSR parts over the extended column space; feed it to
+        :meth:`StandardForm.append_block` to grow a compiled form
+        without recompiling the prefix.  The *current* objective must
+        agree with the mark's on the old columns (extensions add terms,
+        they do not rewrite history).
+        """
+        from repro.mip.columnar import FormBlock
+
+        n = len(self._vars)
+        new_vars = self._vars[since.num_vars :]
+        sign = self._sense.sign
+        c_tail = np.zeros(len(new_vars))
+        for var, coef in self._objective.terms.items():
+            if var.index >= since.num_vars:
+                c_tail[var.index - since.num_vars] += coef
+        c_tail *= sign
+        indptr, indices, data, row_lb, row_ub, names = self._compile_chunk_rows(
+            self._chunks[since.num_chunks :], self._num_rows - since.num_rows, n
+        )
+        return FormBlock(
+            variables=list(new_vars),
+            c_tail=c_tail,
+            lb=np.fromiter((v.lb for v in new_vars), np.float64, count=len(new_vars)),
+            ub=np.fromiter((v.ub for v in new_vars), np.float64, count=len(new_vars)),
+            integrality=np.fromiter(
+                (1 if v.vtype.is_integral else 0 for v in new_vars),
+                dtype=np.uint8,
+                count=len(new_vars),
+            ),
+            indptr=indptr,
+            cols=indices,
+            data=data,
+            row_lb=row_lb,
+            row_ub=row_ub,
+            names=names,
+        )
 
     # ------------------------------------------------------------------
     # objective
@@ -331,8 +575,91 @@ class Model:
         self._form_cache_version = self._mutation_version
         return form
 
+    @staticmethod
+    def _compile_chunk_rows(
+        chunks: Sequence[Union[Constraint, "RowBlock"]], m: int, n: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[str]]:
+        """Assemble a chunk run into canonical CSR parts over ``n`` columns.
+
+        Returns ``(indptr, indices, data, row_lb, row_ub, names)`` for
+        the ``m`` rows the chunks contribute.  Everything funnels through
+        one COO→CSR conversion, so the output rows are canonical (sorted
+        columns, summed duplicates) regardless of chunk kind — which is
+        what makes prefix/tail concatenation byte-identical to a global
+        recompile.
+        """
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        data: list[np.ndarray] = []
+        row_lb = np.empty(m)
+        row_ub = np.empty(m)
+        names: list[str] = []
+        i = 0
+        for chunk in chunks:
+            if isinstance(chunk, Constraint):
+                con = chunk
+                k = len(con.lhs.terms)
+                idx = np.fromiter(
+                    (v.index for v in con.lhs.terms), dtype=np.int64, count=k
+                )
+                val = np.fromiter(con.lhs.terms.values(), dtype=np.float64, count=k)
+                rows.append(np.full(k, i, dtype=np.int64))
+                cols.append(idx)
+                data.append(val)
+                if con.sense is Sense.LE:
+                    row_lb[i], row_ub[i] = -np.inf, con.rhs
+                elif con.sense is Sense.GE:
+                    row_lb[i], row_ub[i] = con.rhs, np.inf
+                else:
+                    row_lb[i] = row_ub[i] = con.rhs
+                names.append(con.name)
+                i += 1
+            else:
+                k = len(chunk)
+                counts = np.diff(chunk.indptr)
+                rows.append(
+                    np.repeat(np.arange(i, i + k, dtype=np.int64), counts)
+                )
+                cols.append(chunk.cols)
+                data.append(chunk.data)
+                row_lb[i : i + k] = chunk.row_lb
+                row_ub[i : i + k] = chunk.row_ub
+                names.extend(chunk.names)
+                i += k
+        if i != m:
+            raise ModelingError(f"chunk row count mismatch: {i} != {m}")
+        # normalize signed zeros (from_sides negates constants, yielding
+        # -0.0) so both emission paths compile to identical bytes
+        row_lb += 0.0
+        row_ub += 0.0
+        if m:
+            A = sp.coo_matrix(
+                (
+                    np.concatenate(data),
+                    (np.concatenate(rows), np.concatenate(cols)),
+                ),
+                shape=(m, n),
+            ).tocsr()
+            return A.indptr, A.indices, A.data, row_lb, row_ub, names
+        return (
+            np.zeros(1, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0),
+            row_lb,
+            row_ub,
+            names,
+        )
+
     def _compile_standard_form(self) -> StandardForm:
-        """The actual COO→CSR assembly (always a fresh compile)."""
+        """COO→CSR assembly, reusing the compiled chunk prefix.
+
+        Every supported mutation is append-only (rows, columns) or
+        matrix-preserving (bounds, objective), so the CSR parts compiled
+        last time are still the first rows of the matrix: only the tail
+        chunks are assembled and the parts concatenated.  A model that
+        was never compiled (or was truncated to row zero) takes the
+        all-tail path, which is exactly the old global compile.
+        """
         n = len(self._vars)
         c = np.zeros(n)
         for var, coef in self._objective.terms.items():
@@ -340,37 +667,36 @@ class Model:
         sign = self._sense.sign
         c *= sign  # internal minimization
 
-        m = len(self._constraints)
-        rows: list[np.ndarray] = []
-        cols: list[np.ndarray] = []
-        data: list[np.ndarray] = []
-        row_lb = np.empty(m)
-        row_ub = np.empty(m)
-        names: list[str] = []
-        for i, con in enumerate(self._constraints):
-            k = len(con.lhs.terms)
-            idx = np.fromiter(
-                (v.index for v in con.lhs.terms), dtype=np.int64, count=k
+        m = self._num_rows
+        prefix = self._prefix if self._prefix is not None else _CompiledPrefix()
+        t_indptr, t_indices, t_data, t_lb, t_ub, t_names = self._compile_chunk_rows(
+            self._chunks[prefix.num_chunks :], m - prefix.num_rows, n
+        )
+        if prefix.num_rows:
+            get_registry().inc("model.incremental_reuses")
+            indptr = np.concatenate(
+                [prefix.indptr, t_indptr[1:].astype(np.int64) + prefix.nnz]
             )
-            val = np.fromiter(con.lhs.terms.values(), dtype=np.float64, count=k)
-            rows.append(np.full(k, i, dtype=np.int64))
-            cols.append(idx)
-            data.append(val)
-            if con.sense is Sense.LE:
-                row_lb[i], row_ub[i] = -np.inf, con.rhs
-            elif con.sense is Sense.GE:
-                row_lb[i], row_ub[i] = con.rhs, np.inf
-            else:
-                row_lb[i] = row_ub[i] = con.rhs
-            names.append(con.name)
-
-        if m:
-            A = sp.coo_matrix(
-                (np.concatenate(data), (np.concatenate(rows), np.concatenate(cols))),
-                shape=(m, n),
-            ).tocsr()
+            indices = np.concatenate([prefix.indices, t_indices])
+            values = np.concatenate([prefix.data, t_data])
+            A = sp.csr_matrix((values, indices, indptr), shape=(m, n))
+            row_lb = np.concatenate([prefix.row_lb, t_lb])
+            row_ub = np.concatenate([prefix.row_ub, t_ub])
+            names = prefix.names + t_names
         else:
-            A = sp.csr_matrix((0, n))
+            A = sp.csr_matrix((t_data, t_indices, t_indptr), shape=(m, n))
+            row_lb, row_ub, names = t_lb, t_ub, t_names
+        self._prefix = _CompiledPrefix(
+            num_chunks=len(self._chunks),
+            num_rows=m,
+            nnz=int(A.indptr[-1]),
+            indptr=A.indptr,
+            indices=A.indices,
+            data=A.data,
+            row_lb=row_lb,
+            row_ub=row_ub,
+            names=names,
+        )
 
         lb = np.fromiter((v.lb for v in self._vars), dtype=np.float64, count=n)
         ub = np.fromiter((v.ub for v in self._vars), dtype=np.float64, count=n)
@@ -416,7 +742,7 @@ class Model:
     ) -> list[Constraint]:
         """Return the constraints violated by an assignment (for tests)."""
         violated = []
-        for con in self._constraints:
+        for con in self.constraints:
             if not con.satisfied_by(values, tol):
                 violated.append(con)
         for var in self._vars:
@@ -433,7 +759,10 @@ class Model:
 
     def stats(self) -> dict[str, int]:
         """Model size statistics (used by the evaluation reports)."""
-        nnz = sum(len(c.lhs.terms) for c in self._constraints)
+        nnz = sum(
+            len(chunk.lhs.terms) if isinstance(chunk, Constraint) else chunk.nnz
+            for chunk in self._chunks
+        )
         return {
             "variables": self.num_vars,
             "binary": self.num_binary_vars,

@@ -31,6 +31,17 @@ COMMON_OPTIONAL: dict[str, str] = {
 
 #: event type -> {"required": {field: type}, "optional": {field: type}}
 TRACE_SCHEMA: dict[str, dict[str, dict[str, str]]] = {
+    "model_build": {
+        "required": {
+            "model": "str",
+            "formulation": "str",
+            "num_vars": "int",
+            "num_constraints": "int",
+            "columnar_nnz": "int",
+            "incremental": "bool",
+        },
+        "optional": {},
+    },
     "solve_start": {
         "required": {"solver": "str", "num_vars": "int", "num_constraints": "int"},
         "optional": {"num_integral": "int"},

@@ -28,9 +28,12 @@ from collections.abc import Hashable, Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.exceptions import ModelingError, ValidationError
+from repro.mip.constraint import Sense
 from repro.mip.expr import LinExpr, Variable, quicksum
 from repro.mip.model import Model, ObjectiveSense
 from repro.mip.solution import Solution
+from repro.observability.metrics import get_registry
+from repro.observability.trace import current_trace
 from repro.network.request import Request
 from repro.network.substrate import SubstrateNetwork
 from repro.temporal.dependency import (
@@ -70,6 +73,14 @@ class ModelOptions:
         :class:`~repro.temporal.dependency.TemporalDependencyGraph`).
     time_horizon:
         ``T``; defaults to the maximum ``t^e`` over all requests.
+    formulation:
+        ``"columnar"`` (default) emits the hot constraint families
+        through the batched :class:`~repro.mip.columnar.ColumnarEmitter`
+        fast path; ``"legacy"`` builds every row through the
+        ``LinExpr`` dict algebra.  Both compile to byte-identical
+        standard forms (``tests/tvnep/test_columnar_formulation.py``),
+        so the legacy path remains the readable executable
+        specification.
     """
 
     use_dependency_cuts: bool = True
@@ -78,6 +89,7 @@ class ModelOptions:
     use_state_reduction: bool = True
     include_intra_request_edges: bool = True
     time_horizon: float | None = None
+    formulation: str = "columnar"
 
     @classmethod
     def plain(cls) -> "ModelOptions":
@@ -147,6 +159,12 @@ class TemporalModelBase:
         self.substrate = substrate
         self.requests = list(requests)
         self.options = options or ModelOptions()
+        if self.options.formulation not in ("columnar", "legacy"):
+            raise ValidationError(
+                f"unknown formulation {self.options.formulation!r} "
+                "(expected 'columnar' or 'legacy')"
+            )
+        self._columnar = self.options.formulation == "columnar"
         self.model = Model(self.formulation_name)
 
         horizon = self.options.time_horizon
@@ -158,25 +176,51 @@ class TemporalModelBase:
             )
         self.T = float(horizon)
 
-        self.events = EventSpace(len(requests), compact=self.layout == "compact")
-        self.dep_graph = TemporalDependencyGraph(
-            requests,
-            include_intra_request_edges=self.options.include_intra_request_edges,
-        )
+        self._fixed_mappings = dict(fixed_mappings or {})
+        self._force_embedded = set(force_embedded)
+        self._force_rejected = set(force_rejected)
 
-        # -- embedding variables ----------------------------------------
-        fixed_mappings = fixed_mappings or {}
+        with get_registry().timer("model.build"):
+            self._build_embeddings()
+            self._build_temporal()
+            # default objective
+            self.set_access_control_objective()
+        self._emit_build_event()
+
+    def _build_embeddings(self) -> None:
+        """Per-request embedding variables and constraints (Sec. II)."""
         self.embeddings: dict[str, EmbeddingVariables] = {}
         for request in self.requests:
-            self.embeddings[request.name] = EmbeddingVariables(
-                self.model,
-                substrate,
-                request,
-                fixed_mapping=fixed_mappings.get(request.name),
-                force_embedded=request.name in force_embedded,
-                force_rejected=request.name in force_rejected,
-                build_link_flows=self.build_static_link_flows,
-            )
+            self._build_one_embedding(request)
+
+    def _build_one_embedding(self, request: Request) -> None:
+        self.embeddings[request.name] = EmbeddingVariables(
+            self.model,
+            self.substrate,
+            request,
+            fixed_mapping=self._fixed_mappings.get(request.name),
+            force_embedded=request.name in self._force_embedded,
+            force_rejected=request.name in self._force_rejected,
+            build_link_flows=self.build_static_link_flows,
+            columnar=self._columnar,
+        )
+
+    def _build_temporal(self) -> None:
+        """Everything downstream of the request set's event structure.
+
+        Kept separate from :meth:`_build_embeddings` because the event
+        space, dependency graph and state machinery are global functions
+        of the request set — the incremental greedy model rebuilds only
+        this part per insertion while the per-request embedding blocks
+        persist.
+        """
+        self.events = EventSpace(
+            len(self.requests), compact=self.layout == "compact"
+        )
+        self.dep_graph = TemporalDependencyGraph(
+            self.requests,
+            include_intra_request_edges=self.options.include_intra_request_edges,
+        )
 
         # -- event machinery ----------------------------------------------
         self._event_ranges = self._compute_event_ranges()
@@ -195,8 +239,20 @@ class TemporalModelBase:
         self._activity = self._compute_activity_table()
         self._build_states()
 
-        # default objective
-        self.set_access_control_objective()
+    def _emit_build_event(self, incremental: bool = False) -> None:
+        """Emit the deterministic ``model_build`` trace event."""
+        trace = current_trace()
+        if trace is None:
+            return
+        trace.emit(
+            "model_build",
+            model=self.formulation_name,
+            formulation=self.options.formulation,
+            num_vars=self.model.num_vars,
+            num_constraints=self.model.num_constraints,
+            columnar_nnz=self.model.columnar_nnz,
+            incremental=incremental,
+        )
 
     # ==================================================================
     # event ranges (Constraint 19)
@@ -241,18 +297,49 @@ class TemporalModelBase:
         #: ``chi^+[(request, event)]`` / ``chi^-[(request, event)]``
         self.chi_start: dict[tuple[str, int], Variable] = {}
         self.chi_end: dict[tuple[str, int], Variable] = {}
+        # each request's chi variables are created contiguously over its
+        # admissible range, so a prefix/suffix sum is a column *slice*;
+        # the columnar emitters exploit this via the base indices below
+        self._chi_start_base: dict[str, int] = {}
+        self._chi_end_base: dict[str, int] = {}
         for request in self.requests:
             name = request.name
             for i in self.event_range(name, PointKind.START):
-                self.chi_start[(name, i)] = self.model.binary_var(
-                    f"chi+[{name}][e{i}]"
-                )
+                var = self.model.binary_var(f"chi+[{name}][e{i}]")
+                self.chi_start[(name, i)] = var
+                self._chi_start_base.setdefault(name, var.index)
             for i in self.event_range(name, PointKind.END):
-                self.chi_end[(name, i)] = self.model.binary_var(
-                    f"chi-[{name}][e{i}]"
-                )
+                var = self.model.binary_var(f"chi-[{name}][e{i}]")
+                self.chi_end[(name, i)] = var
+                self._chi_end_base.setdefault(name, var.index)
+
+    # -- columnar prefix/suffix column helpers -------------------------
+    def _prefix_cols(self, name: str, kind: PointKind, event_index: int) -> range:
+        """Column indices of ``sum_{j <= i} chi`` over the admissible range."""
+        r = self.event_range(name, kind)
+        base = (
+            self._chi_start_base[name]
+            if kind is PointKind.START
+            else self._chi_end_base[name]
+        )
+        count = min(event_index, r.stop - 1) - r.start + 1
+        return range(base, base + max(count, 0))
+
+    def _suffix_cols(self, name: str, kind: PointKind, event_index: int) -> range:
+        """Column indices of ``sum_{j >= i} chi`` over the admissible range."""
+        r = self.event_range(name, kind)
+        base = (
+            self._chi_start_base[name]
+            if kind is PointKind.START
+            else self._chi_end_base[name]
+        )
+        lo = max(event_index, r.start)
+        return range(base + (lo - r.start), base + len(r))
 
     def _build_event_assignment_constraints(self) -> None:
+        if self._columnar:
+            self._build_event_assignment_constraints_columnar()
+            return
         # each point maps to exactly one admissible event
         for request in self.requests:
             name = request.name
@@ -294,6 +381,41 @@ class TemporalModelBase:
                     if var is not None:
                         hosted.add_term(var, 1.0)
                 self.model.add_constr(hosted == 1, name=f"event[e{i}]")
+
+    def _build_event_assignment_constraints_columnar(self) -> None:
+        em = self.model.columnar_emitter()
+        for request in self.requests:
+            name = request.name
+            srange = self.event_range(name, PointKind.START)
+            row = em.add_row(f"assign+[{name}]", Sense.EQ, 1.0)
+            base = self._chi_start_base[name]
+            em.add_row_terms(row, range(base, base + len(srange)), [1.0] * len(srange))
+            erange = self.event_range(name, PointKind.END)
+            row = em.add_row(f"assign-[{name}]", Sense.EQ, 1.0)
+            base = self._chi_end_base[name]
+            em.add_row_terms(row, range(base, base + len(erange)), [1.0] * len(erange))
+        if self.layout == "compact":
+            for i in self.events.start_events:
+                row = em.add_row(f"event+[e{i}]", Sense.EQ, 1.0)
+                cols = [
+                    var.index
+                    for r in self.requests
+                    if (var := self.chi_start.get((r.name, i))) is not None
+                ]
+                em.add_row_terms(row, cols, [1.0] * len(cols))
+        else:
+            for i in self.events.events:
+                row = em.add_row(f"event[e{i}]", Sense.EQ, 1.0)
+                cols = []
+                for r in self.requests:
+                    var = self.chi_start.get((r.name, i))
+                    if var is not None:
+                        cols.append(var.index)
+                    var = self.chi_end.get((r.name, i))
+                    if var is not None:
+                        cols.append(var.index)
+                em.add_row_terms(row, cols, [1.0] * len(cols))
+        em.flush()
 
     # -- prefix helpers ---------------------------------------------------
     def start_prefix(self, request_name: str, event_index: int) -> LinExpr:
@@ -339,6 +461,20 @@ class TemporalModelBase:
     # ==================================================================
     def _build_ordering_cuts(self) -> None:
         """Start-before-end prefix cuts (valid for every integral solution)."""
+        if self._columnar:
+            em = self.model.columnar_emitter()
+            for request in self.requests:
+                name = request.name
+                for i in self.event_range(name, PointKind.END):
+                    end_cols = self._prefix_cols(name, PointKind.END, i)
+                    if not end_cols:
+                        continue
+                    row = em.add_row(f"order[{name}][e{i}]", Sense.LE, 0.0)
+                    em.add_row_terms(row, end_cols, [1.0] * len(end_cols))
+                    start_cols = self._prefix_cols(name, PointKind.START, i - 1)
+                    em.add_row_terms(row, start_cols, [-1.0] * len(start_cols))
+            em.flush()
+            return
         for request in self.requests:
             name = request.name
             for i in self.event_range(name, PointKind.END):
@@ -350,6 +486,7 @@ class TemporalModelBase:
 
     def _build_pairwise_cuts(self) -> None:
         """Constraint (20): precedence distances between dependent points."""
+        em = self.model.columnar_emitter() if self._columnar else None
         for v in self.dep_graph.nodes:
             for w in self.dep_graph.nodes:
                 if v is w or not self.dep_graph.reaches(v, w):
@@ -360,17 +497,28 @@ class TemporalModelBase:
                 w_range = self.event_range(w.request, w.kind)
                 v_range = self.event_range(v.request, v.kind)
                 for i in w_range:
-                    lhs = self._point_prefix(w, i)
-                    rhs = self._point_prefix(v, i - d)
                     # vacuous when w cannot yet be assigned, or trivially
                     # satisfied when v is certainly assigned by i - d
-                    if not lhs.terms:
-                        continue
                     if i - d >= v_range.stop - 1:
+                        continue
+                    if em is not None:
+                        w_cols = self._prefix_cols(w.request, w.kind, i)
+                        if not w_cols:
+                            continue
+                        row = em.add_row(f"prec[{v}][{w}][e{i}]", Sense.LE, 0.0)
+                        em.add_row_terms(row, w_cols, [1.0] * len(w_cols))
+                        v_cols = self._prefix_cols(v.request, v.kind, i - d)
+                        em.add_row_terms(row, v_cols, [-1.0] * len(v_cols))
+                        continue
+                    lhs = self._point_prefix(w, i)
+                    rhs = self._point_prefix(v, i - d)
+                    if not lhs.terms:
                         continue
                     self.model.add_constr(
                         lhs <= rhs, name=f"prec[{v}][{w}][e{i}]"
                     )
+        if em is not None:
+            em.flush()
 
     def _point_prefix(self, node: DepNode, event_index: int) -> LinExpr:
         if node.is_start:
@@ -410,6 +558,9 @@ class TemporalModelBase:
             )
 
     def _build_time_coupling(self) -> None:
+        if self._columnar:
+            self._build_time_coupling_columnar()
+            return
         # Constraint (13): weakly monotone event times
         for i in self.events.events:
             if i + 1 in self.t_event:
@@ -465,6 +616,50 @@ class TemporalModelBase:
                         >= self.t_event[i] - (1 - suffix) * T,
                         name=f"t-lb[{name}][e{i}]",
                     )
+
+    def _build_time_coupling_columnar(self) -> None:
+        """Columnar emission of Table XIII; rows mirror the legacy path.
+
+        ``t <= t_event + (1 - prefix) * T`` normalizes to
+        ``t - t_event + T * prefix <= T`` and its ``>=`` twin to
+        ``t - t_event - T * suffix >= -T`` — the exact rows the dict
+        algebra produces via :meth:`Constraint.from_sides`.
+        """
+        em = self.model.columnar_emitter()
+        for i in self.events.events:
+            if i + 1 in self.t_event:
+                row = em.add_row(f"mono[e{i}]", Sense.LE, 0.0)
+                em.add_row_terms(
+                    row,
+                    [self.t_event[i].index, self.t_event[i + 1].index],
+                    [1.0, -1.0],
+                )
+        T = self.T
+        for request in self.requests:
+            name = request.name
+            t_start = self.t_start[name].index
+            t_end = self.t_end[name].index
+            for i in self.event_range(name, PointKind.START):
+                cols = self._prefix_cols(name, PointKind.START, i)
+                row = em.add_row(f"t+ub[{name}][e{i}]", Sense.LE, T)
+                em.add_row_terms(row, [t_start, self.t_event[i].index], [1.0, -1.0])
+                em.add_row_terms(row, cols, [T] * len(cols))
+                cols = self._suffix_cols(name, PointKind.START, i)
+                row = em.add_row(f"t+lb[{name}][e{i}]", Sense.GE, -T)
+                em.add_row_terms(row, [t_start, self.t_event[i].index], [1.0, -1.0])
+                em.add_row_terms(row, cols, [-T] * len(cols))
+            compact = self.layout == "compact"
+            for i in self.event_range(name, PointKind.END):
+                cols = self._prefix_cols(name, PointKind.END, i)
+                row = em.add_row(f"t-ub[{name}][e{i}]", Sense.LE, T)
+                em.add_row_terms(row, [t_end, self.t_event[i].index], [1.0, -1.0])
+                em.add_row_terms(row, cols, [T] * len(cols))
+                cols = self._suffix_cols(name, PointKind.END, i)
+                anchor = self.t_event[i - 1 if compact else i].index
+                row = em.add_row(f"t-lb[{name}][e{i}]", Sense.GE, -T)
+                em.add_row_terms(row, [t_end, anchor], [1.0, -1.0])
+                em.add_row_terms(row, cols, [-T] * len(cols))
+        em.flush()
 
     # ==================================================================
     # activity table (presolve of Sec. IV-C)

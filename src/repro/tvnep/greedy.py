@@ -41,6 +41,7 @@ from repro.observability.metrics import get_registry
 from repro.runtime.budget import SolveBudget
 from repro.tvnep.base import ModelOptions
 from repro.tvnep.csigma_model import CSigmaModel
+from repro.tvnep.incremental import IncrementalCSigmaModel
 from repro.tvnep.solution import ScheduledRequest, TemporalSolution
 from repro.tvnep.warmstart import validated_warm_start
 from repro.vnep.embedding_vars import NodeMapping
@@ -152,6 +153,7 @@ def greedy_csigma(
     time_limit: float | None = None,
     budget: SolveBudget | None = None,
     lp_session: str | None = None,
+    incremental: bool = True,
 ) -> GreedyResult:
     """Run Algorithm cSigma^G_A.
 
@@ -187,6 +189,16 @@ def greedy_csigma(
         re-solves near-identical cSigma models, so a persistent HiGHS
         session with basis hot-starts pays off here; backends without
         the keyword ignore it.
+    incremental:
+        Keep **one** growing
+        :class:`~repro.tvnep.incremental.IncrementalCSigmaModel` for the
+        whole run (default): each iteration appends the new request's
+        embedding block and rebuilds only the temporal tail, instead of
+        reconstructing every block from scratch.  The per-iteration
+        models compile to byte-identical standard forms either way
+        (``tests/tvnep/test_incremental_model.py``), so decisions and
+        schedules never depend on this switch; ``False`` forces the
+        historical fresh-model-per-iteration loop.
     """
     missing = [r.name for r in requests if r.name not in fixed_mappings]
     if missing:
@@ -209,6 +221,15 @@ def greedy_csigma(
     # x_E values of the last successful solve, reused to warm-start the
     # next iteration (flows are time-invariant, so they stay feasible)
     flow_values: dict[str, float] = {}
+    # one growing model for the whole run: embedding blocks append, the
+    # temporal tail rebuilds per iteration, decisions are bound updates
+    inc = (
+        IncrementalCSigmaModel(
+            substrate, options=_with_horizon(options, horizon), horizon=horizon
+        )
+        if incremental
+        else None
+    )
 
     def reject(request: Request) -> None:
         # fix times anyway (Definition 2.1); earliest slot
@@ -218,10 +239,28 @@ def greedy_csigma(
         )
         rejected.append(request.name)
         get_registry().inc("greedy.rejected")
+        if inc is not None and inc.contains(request.name):
+            inc.decide(request.name, False, current[request.name])
 
     for position, request in enumerate(order):
         current[request.name] = request
         get_registry().inc("greedy.iterations")
+        if inc is not None:
+            try:
+                inc.insert(request, fixed_mappings[request.name])
+            except (SolverError, ModelingError) as exc:
+                # the embedding block itself cannot be built (e.g. an
+                # invalid mapping target): reject without a model — the
+                # fresh-model path fails the same way on this request
+                logger.warning(
+                    "greedy could not add %s to the incremental model "
+                    "(%s); rejecting",
+                    request.name,
+                    exc,
+                )
+                runtimes.append(0.0)
+                reject(request)
+                continue
         if budget is not None and budget.expired:
             # out of wall-clock: conservatively reject the tail instead
             # of blowing past the deadline
@@ -245,16 +284,20 @@ def greedy_csigma(
             )
         tick = time.perf_counter()
         try:
-            model = CSigmaModel(
-                substrate,
-                list(current.values()),
-                fixed_mappings={
-                    name: fixed_mappings[name] for name in current
-                },
-                force_embedded=accepted,
-                force_rejected=rejected,
-                options=_with_horizon(options, horizon),
-            )
+            if inc is not None:
+                inc.rebuild_tail()
+                model = inc
+            else:
+                model = CSigmaModel(
+                    substrate,
+                    list(current.values()),
+                    fixed_mappings={
+                        name: fixed_mappings[name] for name in current
+                    },
+                    force_embedded=accepted,
+                    force_rejected=rejected,
+                    options=_with_horizon(options, horizon),
+                )
             # objective (21): embed L[i] if possible, then end it early
             target = model.embeddings[request.name]
             model.model.set_objective(
@@ -298,21 +341,29 @@ def greedy_csigma(
             current[request.name] = request.with_schedule(start, end)
             accepted.append(request.name)
             get_registry().inc("greedy.accepted")
+            if inc is not None:
+                inc.decide(request.name, True, current[request.name])
         else:
             reject(request)
 
     # one final fully-pinned solve over *all* requests: with every
     # schedule and accept/reject decision fixed, this is cheap, and it
     # guarantees the extraction covers the whole request set even if a
-    # per-iteration time limit left some intermediate solve empty
-    final_model = CSigmaModel(
-        substrate,
-        list(current.values()),
-        fixed_mappings=dict(fixed_mappings),
-        force_embedded=accepted,
-        force_rejected=rejected,
-        options=_with_horizon(options, horizon),
-    )
+    # per-iteration time limit left some intermediate solve empty —
+    # routed through the same incremental model (one more tail rebuild)
+    # whenever every request's embedding block made it in
+    if inc is not None and all(inc.contains(name) for name in current):
+        inc.rebuild_tail()
+        final_model = inc
+    else:
+        final_model = CSigmaModel(
+            substrate,
+            list(current.values()),
+            fixed_mappings=dict(fixed_mappings),
+            force_embedded=accepted,
+            force_rejected=rejected,
+            options=_with_horizon(options, horizon),
+        )
     # the final solve is fully pinned and therefore cheap; grant it a
     # small grace period even when the budget just ran out, because
     # without it there is nothing to extract
@@ -454,14 +505,9 @@ def _with_horizon(options: ModelOptions, horizon: float) -> ModelOptions:
     """Options with a shared time horizon across iterations."""
     if options.time_horizon is not None:
         return options
-    return ModelOptions(
-        use_dependency_cuts=options.use_dependency_cuts,
-        use_pairwise_cuts=options.use_pairwise_cuts,
-        use_ordering_cuts=options.use_ordering_cuts,
-        use_state_reduction=options.use_state_reduction,
-        include_intra_request_edges=options.include_intra_request_edges,
-        time_horizon=horizon,
-    )
+    from dataclasses import replace
+
+    return replace(options, time_horizon=horizon)
 
 
 def _reconcile(

@@ -38,6 +38,7 @@ from repro.runtime.budget import SolveBudget
 from repro.tvnep.base import ModelOptions
 from repro.tvnep.csigma_model import CSigmaModel
 from repro.tvnep.greedy import _link_flow_values, _pinned_schedule, solve_raw_warm
+from repro.tvnep.incremental import IncrementalCSigmaModel
 from repro.tvnep.solution import ScheduledRequest, TemporalSolution
 from repro.tvnep.warmstart import validated_warm_start
 from repro.vnep.embedding_vars import NodeMapping
@@ -86,6 +87,7 @@ def hybrid_heavy_hitters(
     time_limit: float | None = None,
     budget: SolveBudget | None = None,
     lp_session: str | None = None,
+    incremental: bool = True,
 ) -> HybridResult:
     """Exact on the heavy-hitters, greedy on the rest (Sec. VIII).
 
@@ -108,6 +110,13 @@ def hybrid_heavy_hitters(
         forwarded to branch-and-bound backends; the insertion loop
         re-solves near-identical cSigma models, the best case for a
         persistent session.  Backends without the keyword ignore it.
+    incremental:
+        Run the insertion phase on one growing
+        :class:`~repro.tvnep.incremental.IncrementalCSigmaModel`
+        (default) — seeded with the heavy-hitters' pinned outcomes,
+        then extended per small request — instead of rebuilding a fresh
+        cSigma model per insertion.  Decisions are identical either way
+        (the per-insertion standard forms are byte-equal).
     """
     if not 0.0 <= heavy_fraction <= 1.0:
         raise ValidationError("heavy_fraction must lie in [0, 1]")
@@ -170,6 +179,30 @@ def hybrid_heavy_hitters(
             rejected.append(request.name)
 
     # -- phase 2: greedy insertion of the small requests -------------------
+    # one growing model seeded with the heavy-hitters' pinned outcomes;
+    # each small request appends its embedding block and rebuilds only
+    # the temporal tail
+    inc: IncrementalCSigmaModel | None = None
+    if incremental:
+        inc = IncrementalCSigmaModel(substrate, options=options, horizon=horizon)
+        try:
+            for request in heavy:
+                inc.insert(request, fixed_mappings[request.name])
+                inc.decide(
+                    request.name,
+                    request.name in accepted,
+                    current[request.name],
+                )
+        except (SolverError, ModelingError) as exc:  # pragma: no cover
+            # a heavy embedding that built in the exact phase should
+            # always build here; degrade to the fresh-model loop if not
+            logger.warning(
+                "hybrid could not seed the incremental model (%s); "
+                "falling back to per-insertion models",
+                exc,
+            )
+            inc = None
+
     greedy_runtimes: list[float] = []
     for position, request in enumerate(small):
         current[request.name] = request
@@ -182,6 +215,22 @@ def hybrid_heavy_hitters(
             )
             rejected.append(request.name)
             get_registry().inc("hybrid.rejected")
+            if inc is not None and inc.contains(request.name):
+                inc.decide(request.name, False, current[request.name])
+
+        if inc is not None:
+            try:
+                inc.insert(request, fixed_mappings[request.name])
+            except (SolverError, ModelingError) as exc:
+                logger.warning(
+                    "hybrid could not add %s to the incremental model "
+                    "(%s); rejecting",
+                    request.name,
+                    exc,
+                )
+                greedy_runtimes.append(0.0)
+                _reject()
+                continue
 
         if budget is not None and budget.expired:
             logger.warning(
@@ -202,14 +251,20 @@ def hybrid_heavy_hitters(
             )
         tick = time.perf_counter()
         try:
-            model = CSigmaModel(
-                substrate,
-                list(current.values()),
-                fixed_mappings={name: fixed_mappings[name] for name in current},
-                force_embedded=accepted,
-                force_rejected=rejected,
-                options=options,
-            )
+            if inc is not None:
+                inc.rebuild_tail()
+                model = inc
+            else:
+                model = CSigmaModel(
+                    substrate,
+                    list(current.values()),
+                    fixed_mappings={
+                        name: fixed_mappings[name] for name in current
+                    },
+                    force_embedded=accepted,
+                    force_rejected=rejected,
+                    options=options,
+                )
             target = model.embeddings[request.name]
             model.model.set_objective(
                 target.x_embed * horizon + (horizon - model.t_end[request.name]),
@@ -239,20 +294,27 @@ def hybrid_heavy_hitters(
             current[request.name] = request.with_schedule(start, end)
             accepted.append(request.name)
             get_registry().inc("hybrid.accepted")
+            if inc is not None:
+                inc.decide(request.name, True, current[request.name])
         else:
             _reject()
 
     # -- assemble the final solution ---------------------------------------
     # a fully-pinned solve over the whole request set (cheap: every
-    # decision is fixed) so the extraction always covers all requests
-    final_model = CSigmaModel(
-        substrate,
-        list(current.values()),
-        fixed_mappings={name: fixed_mappings[name] for name in current},
-        force_embedded=accepted,
-        force_rejected=rejected,
-        options=options,
-    )
+    # decision is fixed) so the extraction always covers all requests;
+    # reuses the incremental model (one more tail rebuild) when possible
+    if inc is not None and all(inc.contains(name) for name in current):
+        inc.rebuild_tail()
+        final_model = inc
+    else:
+        final_model = CSigmaModel(
+            substrate,
+            list(current.values()),
+            fixed_mappings={name: fixed_mappings[name] for name in current},
+            force_embedded=accepted,
+            force_rejected=rejected,
+            options=options,
+        )
     # fully pinned and cheap; granted a grace second past the deadline
     final_limit = max(budget.clamp(None), 1.0) if budget is not None else None
     final_warm = validated_warm_start(

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
+from repro.mip.constraint import Sense
 from repro.mip.expr import LinExpr, Variable
 from repro.network.request import Request
 from repro.network.substrate import SubstrateNetwork
@@ -31,6 +32,47 @@ from repro.tvnep.base import ActivityStatus, ModelOptions, TemporalModelBase
 from repro.vnep.embedding_vars import NodeMapping
 
 __all__ = ["ExplicitStateMixin", "SigmaModel"]
+
+
+class _LazyUsageMap(dict):
+    """``state_usage`` backed by columnar (cols, coefs) entries.
+
+    The load-balancing objective is the only consumer of the per-state
+    usage expressions, so the columnar state builder records raw column
+    entries and this map materializes a :class:`LinExpr` only when a
+    key is actually read (``get``/``[]``/``in``).  Unread entries never
+    pay the dict-assembly cost.
+    """
+
+    def __init__(self, model, entries: dict) -> None:
+        super().__init__()
+        self._model = model
+        self._entries = entries
+
+    def _materialize(self, key) -> LinExpr:
+        cols, coefs = self._entries[key]
+        variables = self._model._vars
+        expr = LinExpr({variables[c]: coef for c, coef in zip(cols, coefs)})
+        self[key] = expr
+        return expr
+
+    def __missing__(self, key) -> LinExpr:
+        if key in self._entries:
+            return self._materialize(key)
+        raise KeyError(key)
+
+    def get(self, key, default=None):
+        if dict.__contains__(self, key):
+            return dict.__getitem__(self, key)
+        if key in self._entries:
+            return self._materialize(key)
+        return default
+
+    def __contains__(self, key) -> bool:
+        return dict.__contains__(self, key) or key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class ExplicitStateMixin:
@@ -49,6 +91,9 @@ class ExplicitStateMixin:
     """
 
     def _build_states(self) -> None:
+        if self._columnar:
+            self._build_states_columnar()
+            return
         model = self.model
         substrate = self.substrate
         #: ``a_R`` variables keyed by (request name, state, resource)
@@ -102,6 +147,95 @@ class ExplicitStateMixin:
                         usage <= capacity,
                         name=f"cap[s{state}][{resource}]",
                     )
+
+    def _build_states_columnar(self) -> None:
+        """Columnar emission of Constraints (7)-(9).
+
+        Same row sequence as the legacy loop above; allocation terms are
+        precomputed once per (request, resource) as column/coefficient
+        lists and spliced into each state's rows instead of re-walking
+        ``LinExpr`` dicts per state.  The activity status depends only
+        on (request, state), so it is resolved once per state and shared
+        by all resources rather than re-queried in the innermost loop.
+        """
+        model = self.model
+        substrate = self.substrate
+        self.state_alloc: dict[tuple[str, int, object], Variable] = {}
+        usage_entries: dict[tuple[int, object], tuple[list[int], list[float]]] = {}
+        self.state_usage = _LazyUsageMap(model, usage_entries)
+
+        from repro.temporal.dependency import PointKind
+
+        em = model.columnar_emitter()
+        # allocation entries grouped per resource, request order preserved:
+        # (name, cols, coefs, -coefs, bigM)
+        by_resource: dict[
+            object, list[tuple[str, list[int], list[float], list[float], float]]
+        ] = {}
+        for request in self.requests:
+            emb = self.embeddings[request.name]
+            for resource, cols, coefs, neg_coefs, big_m in emb.alloc_profile():
+                by_resource.setdefault(resource, []).append(
+                    (request.name, cols, coefs, neg_coefs, big_m)
+                )
+        names = [request.name for request in self.requests]
+
+        for state in self.events.states:
+            status_of = {
+                name: self.activity_status(name, state) for name in names
+            }
+            prefix_cache: dict[str, tuple[list[int], list[int]]] = {}
+            for resource in substrate.resources:
+                entries = by_resource.get(resource)
+                if not entries:
+                    continue
+                capacity = substrate.capacity(resource)
+                u_cols: list[int] = []
+                u_coefs: list[float] = []
+                relevant = False
+                for name, cols, coefs, neg_coefs, big_m in entries:
+                    status = status_of[name]
+                    if status == ActivityStatus.INACTIVE:
+                        continue
+                    relevant = True
+                    if status == ActivityStatus.ACTIVE:
+                        u_cols.extend(cols)
+                        u_coefs.extend(coefs)
+                        continue
+                    # UNDECIDED: full Constraint (7)/(8) gadget
+                    a = model.continuous_var(
+                        f"a[{name}][s{state}][{resource}]", lb=0.0
+                    )
+                    self.state_alloc[(name, state, resource)] = a
+                    # a - alloc - bigM * start_prefix + bigM * end_prefix
+                    # >= -bigM  (the from_sides normal form of (7)/(8))
+                    row = em.add_row(
+                        f"stateLB[{name}][s{state}][{resource}]",
+                        Sense.GE,
+                        -big_m,
+                    )
+                    em.add_term(row, a, 1.0)
+                    em.add_row_terms(row, cols, neg_coefs)
+                    prefixes = prefix_cache.get(name)
+                    if prefixes is None:
+                        prefixes = (
+                            self._prefix_cols(name, PointKind.START, state),
+                            self._prefix_cols(name, PointKind.END, state),
+                        )
+                        prefix_cache[name] = prefixes
+                    start_cols, end_cols = prefixes
+                    em.add_row_terms(row, start_cols, [-big_m] * len(start_cols))
+                    em.add_row_terms(row, end_cols, [big_m] * len(end_cols))
+                    u_cols.append(a.index)
+                    u_coefs.append(1.0)
+                if relevant:
+                    usage_entries[(state, resource)] = (u_cols, u_coefs)
+                    # Constraint (9)
+                    row = em.add_row(
+                        f"cap[s{state}][{resource}]", Sense.LE, capacity
+                    )
+                    em.add_row_terms(row, u_cols, u_coefs)
+        em.flush()
 
     def num_state_variables(self) -> int:
         """How many ``a_R`` variables were actually created (after the

@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections.abc import Hashable, Mapping
 
 from repro.exceptions import ModelingError
+from repro.mip.constraint import Sense
 from repro.mip.expr import LinExpr, quicksum
 from repro.mip.model import Model
 from repro.network.request import Request
@@ -60,6 +61,11 @@ class EmbeddingVariables:
         builds its own per-state flows instead
         (:mod:`repro.tvnep.rerouting`); with it off, ``alloc_link``
         returns the empty expression.
+    columnar:
+        Emit the mapping and flow constraints through the batched
+        :class:`~repro.mip.columnar.ColumnarEmitter` instead of the
+        ``LinExpr`` algebra.  The resulting rows are identical
+        (differentially tested); only the assembly cost differs.
     """
 
     def __init__(
@@ -71,6 +77,7 @@ class EmbeddingVariables:
         force_embedded: bool = False,
         force_rejected: bool = False,
         build_link_flows: bool = True,
+        columnar: bool = False,
     ) -> None:
         if force_embedded and force_rejected:
             raise ModelingError(
@@ -94,6 +101,7 @@ class EmbeddingVariables:
                         f"{name}: mapping target {s!r} is not a substrate node"
                     )
         self.fixed_mapping = dict(fixed_mapping) if fixed_mapping else None
+        self._alloc_profile: list[tuple] | None = None
 
         # x_R
         self.x_embed = model.binary_var(f"xR[{name}]")
@@ -113,15 +121,28 @@ class EmbeddingVariables:
                 self.x_node[(v, s)] = model.binary_var(f"xV[{name}][{v}->{s}]")
 
         # Constraint (1): sum_s x_V(v, s) = x_R
-        for v in vnet.nodes:
-            placements = quicksum(
-                self.x_node[(v, s)]
-                for s in substrate.nodes
-                if (v, s) in self.x_node
-            )
-            model.add_constr(
-                placements == self.x_embed, name=f"map[{name}][{v}]"
-            )
+        em = model.columnar_emitter() if columnar else None
+        if em is not None:
+            for v in vnet.nodes:
+                row = em.add_row(f"map[{name}][{v}]", Sense.EQ, 0.0)
+                cols = [
+                    var.index
+                    for s in substrate.nodes
+                    if (var := self.x_node.get((v, s))) is not None
+                ]
+                em.add_row_terms(row, cols, [1.0] * len(cols))
+                em.add_term(row, self.x_embed, -1.0)
+            em.flush()
+        else:
+            for v in vnet.nodes:
+                placements = quicksum(
+                    self.x_node[(v, s)]
+                    for s in substrate.nodes
+                    if (v, s) in self.x_node
+                )
+                model.add_constr(
+                    placements == self.x_embed, name=f"map[{name}][{v}]"
+                )
 
         # x_E
         self.x_link: dict[tuple, object] = {}
@@ -136,6 +157,9 @@ class EmbeddingVariables:
         # Constraint (2): per virtual link, per substrate node,
         # outflow - inflow = x_V(head_placed_here) ... constructing a unit
         # flow from the tail's host to the head's host.
+        if em is not None:
+            self._build_flow_constraints_columnar(em)
+            return
         for lv in vnet.links:
             tail, head = lv
             for s in substrate.nodes:
@@ -152,6 +176,50 @@ class EmbeddingVariables:
                     outflow - inflow == balance,
                     name=f"flow[{name}][{tail}->{head}][{s}]",
                 )
+
+    def _build_flow_constraints_columnar(self, em) -> None:
+        """Batched emission of the flow-conservation rows.
+
+        ``x_E`` variables were created ``for lv: for ls:``, so the
+        column of ``(lv, ls)`` is ``base + lv_pos * |E_S| + ls_pos`` —
+        the per-node out/in column offsets are computed once over the
+        substrate and shifted per virtual link.
+        """
+        name = self.request.name
+        vnet = self.request.vnet
+        substrate = self.substrate
+        links = list(substrate.links)
+        ls_pos = {ls: j for j, ls in enumerate(links)}
+        num_links = len(links)
+        base = next(iter(self.x_link.values())).index if self.x_link else 0
+        node_offsets = [
+            (
+                s,
+                [ls_pos[ls] for ls in substrate.out_links(s)],
+                [ls_pos[ls] for ls in substrate.in_links(s)],
+            )
+            for s in substrate.nodes
+        ]
+        for lv_pos, lv in enumerate(vnet.links):
+            tail, head = lv
+            lv_base = base + lv_pos * num_links
+            for s, out_pos, in_pos in node_offsets:
+                row = em.add_row(
+                    f"flow[{name}][{tail}->{head}][{s}]", Sense.EQ, 0.0
+                )
+                em.add_row_terms(
+                    row, [lv_base + j for j in out_pos], [1.0] * len(out_pos)
+                )
+                em.add_row_terms(
+                    row, [lv_base + j for j in in_pos], [-1.0] * len(in_pos)
+                )
+                var = self.x_node.get((tail, s))
+                if var is not None:
+                    em.add_term(row, var, -1.0)
+                var = self.x_node.get((head, s))
+                if var is not None:
+                    em.add_term(row, var, 1.0)
+        em.flush()
 
     # ------------------------------------------------------------------
     def _placement_expr(self, v: Hashable, s: Hashable) -> LinExpr:
@@ -191,6 +259,59 @@ class EmbeddingVariables:
         if self.substrate.has_link(resource):  # type: ignore[arg-type]
             return self.alloc_link(resource)  # type: ignore[arg-type]
         return self.alloc_node(resource)
+
+    def alloc_entries(self, resource: Hashable) -> tuple[list[int], list[float]]:
+        """``alloc(R, r)`` as parallel column/coefficient lists.
+
+        The columnar state builder consumes these directly; the values
+        match :meth:`alloc` term for term (zero demands are dropped by
+        both, via ``add_term``'s zero filter there and explicitly here).
+        """
+        cols: list[int] = []
+        coefs: list[float] = []
+        if self.substrate.has_link(resource):  # type: ignore[arg-type]
+            for lv in self.request.vnet.links:
+                var = self.x_link.get((lv, resource))
+                if var is not None:
+                    demand = self.request.vnet.link_demand(lv)
+                    if demand:
+                        cols.append(var.index)
+                        coefs.append(demand)
+        else:
+            for v in self.request.vnet.nodes:
+                var = self.x_node.get((v, resource))
+                if var is not None:
+                    demand = self.request.vnet.node_demand(v)
+                    if demand:
+                        cols.append(var.index)
+                        coefs.append(demand)
+        return cols, coefs
+
+    def alloc_profile(self) -> list[tuple]:
+        """All nonzero allocation entries, memoized.
+
+        One ``(resource, cols, coefs, negated_coefs, big_m)`` tuple per
+        resource with a nonzero allocation, in substrate resource order.
+        Variable indices never change once the embedding is built (model
+        growth is append-only), so the profile is computed once and
+        reused by every temporal-tail rebuild of the incremental model.
+        Callers must treat the lists as immutable.
+        """
+        profile = self._alloc_profile
+        if profile is None:
+            profile = []
+            for resource in self.substrate.resources:
+                cols, coefs = self.alloc_entries(resource)
+                if cols:
+                    profile.append((
+                        resource,
+                        cols,
+                        coefs,
+                        [-c for c in coefs],
+                        self.alloc_upper_bound(resource),
+                    ))
+            self._alloc_profile = profile
+        return profile
 
     def alloc_upper_bound(self, resource: Hashable) -> float:
         """A safe constant upper bound on ``alloc(R, r)``.

@@ -14,9 +14,11 @@ from repro.mip.lp_engine import (
     HighspySession,
     ScipySession,
     default_session_spec,
+    form_extends,
     make_session,
     reduced_cost_fixing,
 )
+from repro.mip.model import StandardForm
 from repro.observability.metrics import MetricsRegistry, use_registry
 
 needs_highs = pytest.mark.skipif(
@@ -229,3 +231,156 @@ class TestNodeCacheParity:
         auto_res = BranchAndBoundSolver(lp_session="auto").solve(model)
         assert scipy_res.objective == pytest.approx(auto_res.objective)
         assert scipy_res.status == auto_res.status
+
+
+def cut_prone_form():
+    """max x1+x2+x3 s.t. 2x1+2x2+2x3 <= 5 over binaries.
+
+    The LP optimum (1, 1, 0.5) violates the cover cut
+    ``x1 + x2 + x3 <= 2``, so cover separation always finds work here.
+    """
+    m = Model()
+    xs = [m.binary_var(f"x{i}") for i in range(3)]
+    m.add_constr(quicksum(2 * x for x in xs) <= 5)
+    m.set_objective(quicksum(xs), ObjectiveSense.MAXIMIZE)
+    return m.to_standard_form()
+
+
+def form_with_cuts(form):
+    from repro.mip.bnb.cover_cuts import (
+        extend_form_with_cuts,
+        separate_cover_cuts,
+    )
+
+    session = ScipySession(form)
+    root = session.solve(form.lb.copy(), form.ub.copy())
+    cuts = separate_cover_cuts(form, root.x)
+    assert cuts, "the cut-prone instance must admit a violated cover cut"
+    extended = extend_form_with_cuts(form, cuts)
+    session.close()
+    return extended
+
+
+class TestFormExtends:
+    def test_appended_block_satisfies_the_contract(self):
+        form = cut_prone_form()
+        extended = form_with_cuts(form)
+        assert extended.num_constraints > form.num_constraints
+        assert form_extends(form, extended)
+        assert form_extends(form, form)
+
+    def test_shrunk_or_reordered_forms_are_rejected(self):
+        form = cut_prone_form()
+        extended = form_with_cuts(form)
+        # extension is one-directional
+        assert not form_extends(extended, form)
+
+    def test_modified_prefix_is_rejected(self):
+        form = cut_prone_form()
+        extended = form_with_cuts(form)
+        tampered = StandardForm(
+            c=extended.c,
+            c0=extended.c0,
+            A=extended.A.copy(),
+            row_lb=extended.row_lb,
+            row_ub=extended.row_ub,
+            lb=extended.lb,
+            ub=extended.ub,
+            integrality=extended.integrality,
+            sense_sign=extended.sense_sign,
+            variables=extended.variables,
+            constraint_names=extended.constraint_names,
+        )
+        tampered.A.data[0] += 1.0
+        assert not form_extends(form, tampered)
+
+    def test_changed_objective_is_rejected(self):
+        form = cut_prone_form()
+        extended = form_with_cuts(form)
+        changed = StandardForm(
+            c=extended.c.copy(),
+            c0=extended.c0,
+            A=extended.A,
+            row_lb=extended.row_lb,
+            row_ub=extended.row_ub,
+            lb=extended.lb,
+            ub=extended.ub,
+            integrality=extended.integrality,
+            sense_sign=extended.sense_sign,
+            variables=extended.variables,
+            constraint_names=extended.constraint_names,
+        )
+        changed.c[0] += 1.0
+        assert not form_extends(form, changed)
+
+
+class TestLoadAppended:
+    def assert_absorbs_cut_rows(self, session_cls):
+        form = cut_prone_form()
+        extended = form_with_cuts(form)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            session = session_cls(form)
+            before = session.solve(form.lb.copy(), form.ub.copy())
+            assert form.user_objective(before.x) == pytest.approx(2.5)
+            assert session.load_appended(extended)
+            after = session.solve(extended.lb.copy(), extended.ub.copy())
+        # the cover cut tightens the LP bound from 2.5 to the true 2.0
+        assert extended.user_objective(after.x) == pytest.approx(2.0)
+        assert registry.counter("solver.lp_appends") == 1
+        # cross-check against a cold session on the extended form
+        fresh = session_cls(extended)
+        cold = fresh.solve(extended.lb.copy(), extended.ub.copy())
+        assert cold.internal_obj == pytest.approx(after.internal_obj)
+        session.close()
+        fresh.close()
+
+    def test_scipy_absorbs_cut_rows(self):
+        self.assert_absorbs_cut_rows(ScipySession)
+
+    @needs_highs
+    def test_highs_absorbs_cut_rows(self):
+        self.assert_absorbs_cut_rows(HighspySession)
+
+    def test_unrelated_form_is_refused(self):
+        form = cut_prone_form()
+        other = simple_lp()
+        session = ScipySession(form)
+        assert not session.load_appended(other)
+        session.close()
+
+    @needs_highs
+    def test_highs_refuses_column_growth(self):
+        form = cut_prone_form()
+        grown = form_with_cuts(form)
+        m = Model()
+        xs = [m.binary_var(f"x{i}") for i in range(3)]
+        m.add_constr(quicksum(2 * x for x in xs) <= 5)
+        m.set_objective(quicksum(xs), ObjectiveSense.MAXIMIZE)
+        mark = m.mark()
+        m.continuous_var("slacky", lb=0.0, ub=1.0)
+        with_col = form.append_block(m.extend(mark))
+        assert form_extends(form, with_col)
+        session = HighspySession(form)
+        assert not session.load_appended(with_col)
+        session.close()
+        # rows-only growth is absorbed (checked in the cut test above);
+        # scipy has no in-memory model, so it takes column growth too
+        scipy_session = ScipySession(form)
+        assert scipy_session.load_appended(with_col)
+        scipy_session.close()
+        del grown
+
+    def test_cut_rounds_reuse_the_session(self):
+        """End-to-end: cut-and-branch absorbs cut rows via addRows."""
+        m = Model()
+        xs = [m.binary_var(f"x{i}") for i in range(3)]
+        m.add_constr(quicksum(2 * x for x in xs) <= 5)
+        m.set_objective(quicksum(xs), ObjectiveSense.MAXIMIZE)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            result = BranchAndBoundSolver(
+                cover_cuts=True, lp_session="scipy"
+            ).solve(m)
+        assert result.objective == pytest.approx(2.0)
+        assert registry.counter("solver.lp_appends") >= 1
